@@ -1,0 +1,41 @@
+"""Shared reporting helpers for the benchmark suite.
+
+Each benchmark runs one figure/table driver once (``benchmark.pedantic``
+with a single round — these are minutes-scale experiments, not
+microbenchmarks), prints the same rows the paper plots, and archives the
+table under ``results/``.
+"""
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.utils import format_table
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Execute a driver exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def report(name: str, result: dict) -> str:
+    """Print and archive a driver's output table; return the rendered text."""
+    table = format_table(result["headers"], result["rows"])
+    text = f"== {name} ==\n{table}\n"
+    if result.get("notes"):
+        text += f"(expected shape: {result['notes']})\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print("\n" + text)
+    return text
+
+
+def series(rows, key_idx, val_idx, where=None):
+    """Group rows into {key: [values]} for shape assertions."""
+    out: dict = {}
+    for row in rows:
+        if where is not None and not where(row):
+            continue
+        out.setdefault(row[key_idx], []).append(row[val_idx])
+    return out

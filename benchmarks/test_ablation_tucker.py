@@ -1,0 +1,22 @@
+"""Benchmark: CP vs Tucker ablation (paper's decomposition choice)."""
+import math
+
+from repro.experiments import ablation_tucker
+
+from _report import report, run_once
+
+
+def test_ablation_tucker(benchmark):
+    out = run_once(benchmark, ablation_tucker.run, seed=0)
+    report("ablation_tucker", out)
+    rows = out["rows"]
+    by_key = {(r[0], r[1], r[2]): r for r in rows}
+    # Tucker matches CP accuracy within 2x on the 3-D kernel...
+    cp = by_key[("matmul", "cp", 4)]
+    tk = by_key[("matmul", "tucker", 4)]
+    assert tk[3] < 2.0 * cp[3], (cp, tk)
+    # ...at a strictly larger parameter count (the core).
+    assert tk[4] > cp[4]
+    # And the order-8 Tucker core is refused outright (CP's scaling win).
+    amg = by_key[("amg", "tucker-rank8", 8)]
+    assert math.isnan(amg[3]) and amg[4] == -1

@@ -1,0 +1,36 @@
+"""Benchmarks: ablations of CPR's design choices (DESIGN.md Section 4)."""
+from repro.experiments import ablations
+
+from _report import report, run_once
+
+
+def test_ablation_loss(benchmark):
+    out = run_once(benchmark, ablations.run_loss, seed=0)
+    report("ablation_loss", out)
+    errs = {(r[0], r[1]): r[2] for r in out["rows"]}
+    # Both formulations must be usable for interpolation (within 4x of the
+    # better one on every benchmark).
+    for app in {r[0] for r in out["rows"]}:
+        a, b = errs[(app, "log_mse")], errs[(app, "mlogq2")]
+        assert max(a, b) < 4.0 * min(a, b), (app, a, b)
+
+
+def test_ablation_spacing(benchmark):
+    out = run_once(benchmark, ablations.run_spacing, seed=0)
+    report("ablation_spacing", out)
+    errs = dict(out["rows"])
+    # Section 5.1: log spacing must beat uniform spacing decisively for
+    # log-uniformly distributed size parameters.
+    assert errs["log"] < 0.5 * errs["linear"], errs
+
+
+def test_ablation_optimizer(benchmark):
+    out = run_once(benchmark, ablations.run_optimizer, seed=0)
+    report("ablation_optimizer", out)
+    obj = {r[0]: r[1] for r in out["rows"]}
+    sweeps = {r[0]: r[2] for r in out["rows"]}
+    # ALS reaches (near-)lowest objective; CCD matches it with more sweeps;
+    # SGD lands within an order of magnitude.
+    assert obj["als"] <= 1.05 * min(obj.values())
+    assert obj["ccd"] <= 1.5 * obj["als"]
+    assert obj["sgd"] <= 10.0 * obj["als"]

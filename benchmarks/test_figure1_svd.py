@@ -1,0 +1,20 @@
+"""Benchmark: Figure 1 — SVD rank sweeps, raw vs log-transformed."""
+import numpy as np
+
+from repro.experiments import figure1
+
+from _report import report, run_once, series
+
+
+def test_figure1_svd(benchmark):
+    out = run_once(benchmark, figure1.run, seed=0)
+    report("figure1_svd", out)
+    log_curves = series(out["rows"], 0, 3)
+    raw_curves = series(out["rows"], 0, 2)
+    # Paper claim 1: log-transformed error decreases monotonically in rank.
+    for fname, curve in log_curves.items():
+        assert np.all(np.diff(curve) <= 1e-9), (fname, curve)
+    # Paper claim 2: the raw SVD misbehaves on the piecewise function f2
+    # (error increases with rank somewhere) and ends worse than the log SVD.
+    assert max(np.diff(raw_curves["f2"])) > 0
+    assert log_curves["f2"][-1] < raw_curves["f2"][-1]

@@ -1,0 +1,27 @@
+"""Benchmark: Figure 4 — CP-rank refinement vs sparse-grid refinement."""
+from repro.experiments import figure4
+
+from _report import report, run_once, series
+
+
+def test_figure4_refinement(benchmark):
+    out = run_once(benchmark, figure4.run, seed=0)
+    report("figure4_refinement", out)
+    rows = out["rows"]
+    apps = {r[0] for r in rows}
+    # CP rank is an effective refinement knob: on every benchmark and grid,
+    # the best rank clearly beats rank 1 (the multilinear-cost-model limit).
+    for app in apps:
+        for tag in {r[1] for r in rows if r[0] == app and r[1].startswith("cpr")}:
+            curve = sorted(
+                (r[2], r[3]) for r in rows if r[0] == app and r[1] == tag
+            )
+            rank1 = curve[0][1]
+            best = min(e for _, e in curve)
+            assert best < 0.7 * rank1, (app, tag, curve)
+    # Paper claim on the categorical high-dimensional benchmark: rank
+    # refinement (CPR) beats sparse-grid refinement (SGR).
+    models = series(rows, 1, 3, where=lambda r: r[0] == "amg")
+    cpr_best = min(min(v) for k, v in models.items() if k.startswith("cpr"))
+    sgr_best = min(min(v) for k, v in models.items() if k.startswith("sgr"))
+    assert cpr_best < sgr_best, (cpr_best, sgr_best)

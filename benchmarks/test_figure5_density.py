@@ -1,0 +1,29 @@
+"""Benchmark: Figure 5 — CPR accuracy vs training size and tensor density."""
+import numpy as np
+
+from repro.experiments import figure5
+
+from _report import report, run_once
+
+
+def test_figure5_density(benchmark):
+    out = run_once(benchmark, figure5.run, seed=0)
+    report("figure5_density", out)
+    rows = out["rows"]
+    apps = {r[0] for r in rows}
+    # Paper claim: error decreases with training size (per app and grid).
+    for app in apps:
+        for cells in {r[1] for r in rows if r[0] == app}:
+            pts = sorted(
+                (r[2], r[4]) for r in rows if r[0] == app and r[1] == cells
+            )
+            errs = [e for _, e in pts]
+            assert errs[-1] < errs[0] * 1.1, (app, cells, errs)
+    # Paper claim: high-dimensional tensors stay accurate at far lower
+    # density than low-dimensional ones.
+    def best_density(app):
+        cand = [(r[4], r[3]) for r in rows if r[0] == app]
+        return min(cand)[1]
+
+    if "exafmm" in apps and "matmul" in apps:
+        assert best_density("exafmm") < best_density("matmul")

@@ -1,0 +1,42 @@
+"""Benchmark: Figure 8 — extrapolation beyond the training ranges."""
+import numpy as np
+
+from repro.experiments import figure8
+
+from _report import report, run_once, series
+
+
+def test_figure8_extrapolation(benchmark):
+    out = run_once(benchmark, figure8.run, seed=0)
+    report("figure8_extrapolation", out)
+    rows = out["rows"]
+
+    def med(scenario, model):
+        vals = [r[3] for r in rows if r[0] == scenario and r[2] == model]
+        return float(np.median(vals)) if vals else np.inf
+
+    black_box = ["nn", "et", "gp", "knn"]
+    # Paper claim: black-box models overfit the training range; CPR's
+    # positive-factor + spline extrapolation beats them on numerical-
+    # parameter extrapolation.  (MARS is excluded from this comparison:
+    # our simulators are log-log piecewise-linear by construction, which
+    # is MARS's exact model class — on the paper's real measurements it
+    # overfits like the rest; see EXPERIMENTS.md.)
+    for scenario in ("mm_mnk", "bc_msg"):
+        cpr = med(scenario, "cpr")
+        best_bb = min(med(scenario, b) for b in black_box)
+        assert cpr < best_bb, (scenario, cpr, best_bb)
+    # Single-parameter MM extrapolation: CPR among the leaders (within 2x
+    # of the best model overall).
+    cpr = med("mm_m", "cpr")
+    best_all = min(med("mm_m", b) for b in black_box + ["mars"])
+    assert cpr < 2.0 * best_all, ("mm_m", cpr, best_all)
+    # The weakest black-box models blow up by multiples where CPR holds.
+    for scenario in ("mm_m", "mm_mnk", "bc_msg"):
+        worst_bb = max(med(scenario, b) for b in black_box)
+        assert worst_bb > 2.5 * med(scenario, "cpr"), scenario
+    # Integer/node-count extrapolation is CPR's acknowledged weak spot
+    # (paper: it only matches KNN there); require survival, not victory.
+    cpr = med("bc_nodes", "cpr")
+    best_bb = min(med("bc_nodes", b) for b in black_box)
+    assert cpr < 3.0 * best_bb, ("bc_nodes", cpr, best_bb)

@@ -1,0 +1,20 @@
+"""Benchmark: Table 1 — error-metric equivalence verification."""
+from repro.experiments import table1
+
+from _report import report, run_once
+
+
+def test_table1_metrics(benchmark):
+    out = run_once(benchmark, table1.run, seed=0)
+    report("table1_metrics", out)
+    for name, kind, eps_mag, direct, via, rel_gap in out["rows"]:
+        if kind == "exact":
+            assert rel_gap < 1e-9, (name, rel_gap)
+    # Taylor rows tighten by >= 1 order of magnitude from eps=0.5 to 0.01.
+    taylor = {
+        (name, eps): gap
+        for name, kind, eps, _, _, gap in out["rows"]
+        if kind == "taylor"
+    }
+    for name in ("mlogq", "mlogq2"):
+        assert taylor[(name, 0.01)] < 0.2 * taylor[(name, 0.5)]

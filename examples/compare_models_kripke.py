@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Model shoot-out on Kripke: all ten model families, accuracy vs size.
+
+Reproduces a slice of the paper's Figures 6/7 on the highest-dimensional
+benchmark (9 parameters, two categorical).  Every model family from
+Section 6.0.4 is tuned over a small hyper-parameter grid on the same
+training set; we report the best test MLogQ and the serialized size of the
+best model — the trade-off the paper's Figure 7 plots.
+
+Run:  python examples/compare_models_kripke.py
+"""
+import time
+
+from repro.apps import Kripke
+from repro.datasets import generate_dataset
+from repro.experiments import tune_model
+from repro.utils import format_table
+
+MODELS = ["cpr", "sgr", "mars", "nn", "et", "rf", "gb", "gp", "svm", "knn"]
+
+
+def main():
+    app = Kripke()
+    print(f"Benchmark: {app.name}, {app.space.dimension} parameters "
+          f"({app.space.names})")
+    train = generate_dataset(app, n=4096, seed=0)
+    test = generate_dataset(app, n=1024, seed=1)
+
+    rows = []
+    for name in MODELS:
+        t0 = time.perf_counter()
+        try:
+            res = tune_model(name, train, test, space=app.space,
+                             scale="smoke", seed=0, time_budget_s=120)
+        except RuntimeError as exc:
+            print(f"  {name}: skipped ({exc})")
+            continue
+        rows.append((
+            name,
+            res.best_error,
+            res.best_size_bytes,
+            f"{time.perf_counter() - t0:.1f}s",
+            str(res.best_params),
+        ))
+    rows.sort(key=lambda r: r[1])
+    print(format_table(
+        ["model", "best mlogq", "size (B)", "tuning time", "best params"],
+        rows,
+    ))
+    leader = rows[0]
+    print(f"\nmost accurate: {leader[0]} at MLogQ {leader[1]:.4f} "
+          f"using {leader[2]} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Performance extrapolation: predict large-message MPI_Bcast from small runs.
+
+Reproduces the workflow of the paper's Section 5.3 / Figure 8: train the
+*positive* CPR model (MLogQ2 loss, interior-point AMN optimizer) on
+broadcasts with message sizes below 2 MB, then predict 32-64 MB broadcasts
+— configurations far outside the modeling domain.  The model extracts the
+Perron rank-1 component of each factor matrix and extends its log with a
+MARS spline, so predictions keep growing with message size instead of
+saturating at the training boundary like the black-box baselines.
+
+Run:  python examples/extrapolate_bcast.py
+"""
+import numpy as np
+
+from repro.apps import Broadcast
+from repro.core import CPRModel
+from repro.experiments.registry import make_model
+from repro.metrics import mlogq
+from repro.utils import format_table
+
+
+def main():
+    app = Broadcast()
+    rng = np.random.default_rng(0)
+
+    # Pool of measurements across the full space; snap node counts to the
+    # powers of two the paper executes.
+    X = app.space.sample(16384, rng)
+    X[:, 0] = 2.0 ** np.clip(np.round(np.log2(X[:, 0])), 0, 7)
+    X[:, 1] = 2.0 ** np.clip(np.round(np.log2(X[:, 1])), 0, 6)
+    y = app.measure(X, rng=rng)
+
+    cutoff = 2.0**21  # train only on messages < 2 MB
+    train = X[:, 2] < cutoff
+    test = X[:, 2] >= 2.0**25  # predict 32-64 MB messages
+    Xtr, ytr = X[train][:4096], y[train][:4096]
+    Xte, yte = X[test], y[test]
+    print(f"train: {len(ytr)} runs with msg < 2MB; "
+          f"test: {len(yte)} runs with msg >= 32MB")
+
+    # The extrapolation-capable CPR model (Section 5.3): low rank keeps
+    # the Perron component clean; the extrapolated mode gets a fine grid
+    # so the MARS spline has enough training points (paper Section 7.2).
+    cpr = CPRModel(space=app.space, cells={"nodes": 8, "ppn": 8, "msg": 32},
+                   rank=2, loss="mlogq2", regularization=1e-5,
+                   max_sweeps=2, newton_iters=15, seed=0).fit(Xtr, ytr)
+
+    rows = [("cpr (extrapolating)", mlogq(cpr.predict(Xte), yte))]
+    for name in ("nn", "et", "gp", "knn", "mars"):
+        model = make_model(name, space=app.space, seed=0)
+        model.fit(Xtr, ytr)
+        rows.append((name, mlogq(model.predict(Xte), yte)))
+
+    print("\nMLogQ on 16-32x larger messages than ever observed:")
+    print(format_table(["model", "mlogq"], rows))
+
+    factor = np.exp(rows[0][1])
+    print(f"\nCPR's typical misprediction factor: {factor:.2f}x; "
+          "baselines saturate at the training boundary and "
+          "under-predict by the full extrapolation span.")
+
+
+if __name__ == "__main__":
+    main()

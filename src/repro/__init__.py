@@ -1,0 +1,35 @@
+"""repro: Application Performance Modeling via Tensor Completion (SC'23 reproduction).
+
+Public API highlights
+---------------------
+``CPRModel`` / ``TuckerModel``
+    Grid-discretized tensor-completion performance models (the paper's
+    contribution and its Tucker future-work variant).
+``get_application`` and the classes in :mod:`repro.apps`
+    The six benchmark simulators with the paper's Table 2 parameter spaces.
+``generate_dataset``
+    Sampling per the paper's data-collection protocol.
+``mlogq`` and friends in :mod:`repro.metrics`
+    The scale-independent error metrics of Table 1.
+``repro.baselines``
+    The nine comparison model families, implemented from scratch.
+``repro.experiments``
+    Drivers that regenerate every table and figure of the evaluation
+    (also available as ``python -m repro.experiments``).
+"""
+
+from repro.apps import get_application
+from repro.core import CPRModel, TuckerModel
+from repro.datasets import generate_dataset
+from repro.metrics import mlogq
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CPRModel",
+    "TuckerModel",
+    "get_application",
+    "generate_dataset",
+    "mlogq",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""Application simulators reproducing the paper's six benchmarks (Table 2).
+
+Each module provides an :class:`~repro.apps.base.Application` subclass whose
+``space`` matches Table 2 and whose ``latent_time`` is a synthetic but
+structurally realistic stand-in for Stampede2 measurements (see DESIGN.md,
+"Substitutions").
+"""
+from repro.apps.base import Application, Parameter, ParameterSpace
+from repro.apps.noise import LogNormalNoise, NoNoise, hash01, hash_perturb
+from repro.apps.matmul import MatMul
+from repro.apps.qr import QR
+from repro.apps.bcast import Broadcast
+from repro.apps.exafmm import ExaFMM
+from repro.apps.amg import AMG
+from repro.apps.kripke import Kripke
+
+#: Registry of benchmark name -> application factory (paper's abbreviations).
+APPLICATIONS = {
+    "matmul": MatMul,
+    "mm": MatMul,
+    "qr": QR,
+    "bcast": Broadcast,
+    "bc": Broadcast,
+    "exafmm": ExaFMM,
+    "fmm": ExaFMM,
+    "amg": AMG,
+    "kripke": Kripke,
+}
+
+
+def get_application(name: str, **kwargs) -> Application:
+    """Instantiate a benchmark application by (case-insensitive) name."""
+    key = name.lower()
+    try:
+        cls = APPLICATIONS[key]
+    except KeyError:
+        options = sorted(set(APPLICATIONS))
+        raise KeyError(f"unknown application {name!r}; options: {options}") from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Application",
+    "Parameter",
+    "ParameterSpace",
+    "LogNormalNoise",
+    "NoNoise",
+    "hash01",
+    "hash_perturb",
+    "MatMul",
+    "QR",
+    "Broadcast",
+    "ExaFMM",
+    "AMG",
+    "Kripke",
+    "APPLICATIONS",
+    "get_application",
+]

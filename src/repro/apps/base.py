@@ -1,0 +1,268 @@
+"""Parameter spaces and the application-simulator interface.
+
+The paper benchmarks six applications on Stampede2 (Table 2).  Execution on
+that machine is unavailable here, so each application is replaced by a
+*simulator*: a semi-empirical, strictly positive latent function
+``f : X -> R+`` built from roofline-style compute terms, bandwidth terms,
+communication trees, and categorical effect tables, plus deterministic
+pseudo-random perturbations (cache/alignment effects) and stochastic
+measurement noise.  The simulators expose exactly the parameter spaces of
+Table 2, so every experiment in the paper's evaluation can be re-run
+against them.
+
+Parameter roles follow the paper's taxonomy:
+
+* ``input`` — problem-size parameters (matrix dimension, message size, ...);
+  sampled log-uniformly (Section 6.0.3) and discretized logarithmically.
+* ``arch`` — architectural parameters (node count, processes-per-node,
+  threads-per-process); sampled log-uniformly, discretized logarithmically.
+* ``config`` — tuning parameters (block size, tree level, ...); sampled
+  uniformly, discretized linearly.
+* categorical parameters (solver choice, layout) are indexed directly.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["Parameter", "ParameterSpace", "Application"]
+
+_ROLES = ("input", "config", "arch")
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One benchmark parameter (a tensor mode in the CPR model).
+
+    Parameters
+    ----------
+    name
+        Identifier used in reports and for column lookup.
+    role
+        ``"input"``, ``"config"`` or ``"arch"`` (paper taxonomy).
+    low, high
+        Inclusive numeric range (ignored for categorical parameters).
+    integer
+        Whether values are rounded to integers.
+    categories
+        When given, the parameter is categorical; values in a dataset are
+        category *indices* ``0 .. len(categories)-1``.
+    scale
+        ``"log"``, ``"linear"`` or ``"auto"``.  ``auto`` resolves to ``log``
+        for input/arch parameters and ``linear`` for config parameters,
+        matching the paper's sampling and discretization conventions.
+    """
+
+    name: str
+    role: str = "config"
+    low: Optional[float] = None
+    high: Optional[float] = None
+    integer: bool = False
+    categories: Optional[tuple] = None
+    scale: str = "auto"
+
+    def __post_init__(self):
+        if self.role not in _ROLES:
+            raise ValueError(f"role must be one of {_ROLES}, got {self.role!r}")
+        if self.categories is None:
+            if self.low is None or self.high is None:
+                raise ValueError(f"numeric parameter {self.name!r} needs low/high")
+            if not (self.low < self.high):
+                raise ValueError(
+                    f"{self.name!r}: low must be < high, got [{self.low}, {self.high}]"
+                )
+            if self.resolved_scale == "log" and self.low <= 0:
+                raise ValueError(f"{self.name!r}: log-scale range must be positive")
+        else:
+            if len(self.categories) < 2:
+                raise ValueError(f"{self.name!r}: need at least 2 categories")
+        if self.scale not in ("log", "linear", "auto"):
+            raise ValueError(f"{self.name!r}: bad scale {self.scale!r}")
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.categories is not None
+
+    @property
+    def n_categories(self) -> int:
+        if not self.is_categorical:
+            raise ValueError(f"{self.name!r} is not categorical")
+        return len(self.categories)
+
+    @property
+    def resolved_scale(self) -> str:
+        """The effective sampling/discretization scale."""
+        if self.scale != "auto":
+            return self.scale
+        return "log" if self.role in ("input", "arch") else "linear"
+
+    def sample(self, n: int, rng) -> np.ndarray:
+        """Draw ``n`` values per the paper's per-role sampling strategy."""
+        rng = as_generator(rng)
+        if self.is_categorical:
+            return rng.integers(0, self.n_categories, size=n).astype(float)
+        if self.resolved_scale == "log":
+            vals = np.exp(rng.uniform(np.log(self.low), np.log(self.high), size=n))
+        else:
+            vals = rng.uniform(self.low, self.high, size=n)
+        if self.integer:
+            vals = np.clip(np.rint(vals), np.ceil(self.low), np.floor(self.high))
+        return vals
+
+    def contains(self, values) -> np.ndarray:
+        """Boolean mask of values inside this parameter's range."""
+        values = np.asarray(values, dtype=float)
+        if self.is_categorical:
+            return (values >= 0) & (values < self.n_categories)
+        return (values >= self.low) & (values <= self.high)
+
+
+class ParameterSpace:
+    """An ordered collection of :class:`Parameter` with an optional constraint.
+
+    The columns of every dataset matrix ``X`` follow the order of
+    ``parameters``.  ``constraint(X) -> bool mask`` filters jointly invalid
+    configurations (e.g. the paper's ``64 <= ppn * tpp <= 128``); sampling
+    uses rejection to satisfy it.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        constraint: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        name: str = "",
+    ):
+        self.parameters = tuple(parameters)
+        if len({p.name for p in self.parameters}) != len(self.parameters):
+            raise ValueError("duplicate parameter names")
+        self.constraint = constraint
+        self.name = name
+        self._index = {p.name: j for j, p in enumerate(self.parameters)}
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        """Number of parameters (the tensor order of the CPR model)."""
+        return len(self.parameters)
+
+    @property
+    def names(self) -> tuple:
+        return tuple(p.name for p in self.parameters)
+
+    def index_of(self, name: str) -> int:
+        """Column index of parameter ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"no parameter {name!r}; have {self.names}") from None
+
+    def column(self, X: np.ndarray, name: str) -> np.ndarray:
+        """View of the column of ``X`` holding parameter ``name``."""
+        return np.asarray(X)[:, self.index_of(name)]
+
+    def __getitem__(self, name: str) -> Parameter:
+        return self.parameters[self.index_of(name)]
+
+    def __iter__(self):
+        return iter(self.parameters)
+
+    def __repr__(self):
+        return f"ParameterSpace({self.name!r}, d={self.dimension})"
+
+    # -- sampling and validation -------------------------------------------
+
+    def sample(self, n: int, rng=None, max_tries: int = 200) -> np.ndarray:
+        """Draw ``n`` valid configurations as an ``(n, d)`` float matrix.
+
+        Input/arch parameters are sampled log-uniformly, config parameters
+        uniformly, categorical parameters uniformly over their choices
+        (Section 6.0.3).  Rejection sampling enforces ``constraint``.
+        """
+        rng = as_generator(rng)
+        if n == 0:
+            return np.empty((0, self.dimension))
+        collected = []
+        remaining = n
+        for _ in range(max_tries):
+            batch = max(remaining * 2, 64)
+            X = np.column_stack([p.sample(batch, rng) for p in self.parameters])
+            if self.constraint is not None:
+                X = X[np.asarray(self.constraint(X), dtype=bool)]
+            if len(X):
+                collected.append(X[:remaining])
+                remaining -= len(collected[-1])
+            if remaining <= 0:
+                return np.vstack(collected)
+        raise RuntimeError(
+            f"rejection sampling failed: constraint of {self.name!r} too tight"
+        )
+
+    def contains(self, X: np.ndarray) -> np.ndarray:
+        """Row mask of configurations inside every parameter range."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.dimension:
+            raise ValueError(
+                f"X must be (n, {self.dimension}), got {X.shape}"
+            )
+        mask = np.ones(len(X), dtype=bool)
+        for j, p in enumerate(self.parameters):
+            mask &= p.contains(X[:, j])
+        return mask
+
+    def validate(self, X: np.ndarray) -> np.ndarray:
+        """Return ``X`` as a float matrix with the right number of columns."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.ndim != 2 or X.shape[1] != self.dimension:
+            raise ValueError(
+                f"expected configurations with {self.dimension} parameters "
+                f"({self.names}), got shape {X.shape}"
+            )
+        return X
+
+
+@dataclass
+class Application:
+    """Base class for application simulators.
+
+    Subclasses define ``space`` (a :class:`ParameterSpace`) and implement
+    :meth:`latent_time`, the noise-free execution-time surface.  The public
+    entry point :meth:`measure` adds multiplicative lognormal measurement
+    noise whose magnitude mimics the paper's data-collection protocol
+    (kernels: averaged until coefficient of variation < 1%; applications:
+    executed once, so a few percent run-to-run variation remains).
+    """
+
+    #: default lognormal sigma used by :meth:`measure`
+    noise_sigma: float = 0.0
+    name: str = "application"
+
+    @property
+    def space(self) -> ParameterSpace:
+        raise NotImplementedError
+
+    def latent_time(self, X: np.ndarray) -> np.ndarray:
+        """Noise-free execution time (seconds) for each configuration row."""
+        raise NotImplementedError
+
+    def measure(self, X: np.ndarray, rng=None, sigma: Optional[float] = None) -> np.ndarray:
+        """Simulated measured execution times (strictly positive).
+
+        ``sigma`` overrides the application's default measurement-noise
+        level; ``sigma=0`` returns the latent surface exactly.
+        """
+        X = self.space.validate(X)
+        t = self.latent_time(X)
+        if np.any(t <= 0) or not np.all(np.isfinite(t)):
+            raise RuntimeError(f"{self.name}: latent time must be positive/finite")
+        s = self.noise_sigma if sigma is None else sigma
+        if s > 0:
+            rng = as_generator(rng)
+            t = t * np.exp(rng.normal(0.0, s, size=t.shape))
+        return t

@@ -1,0 +1,86 @@
+"""MPI broadcast (Intel MPI on Omni-Path) simulator.
+
+Paper setup: Bcast on 1..128 nodes, 1..64 processes-per-node, message sizes
+``2^16 <= msg <= 2^26`` bytes (Section 6.0.2).  The latent model follows
+standard collective-algorithm analysis (e.g. Thakur et al.) with the
+algorithm switching MPI libraries actually perform:
+
+* small messages: binomial tree, ``ceil(log2 p) * (alpha + msg * beta)``;
+* large messages: scatter + ring allgather,
+  ``(log2 p + p - 1) * alpha + 2 msg (p-1)/p * beta``;
+* a logistic blend between the two regimes around the library's switch
+  point, producing the characteristic slope change in measured curves;
+* separate intra-node (shared memory) and inter-node (network) latency and
+  bandwidth, with intra-node bandwidth shared among ``ppn`` ranks
+  (contention) and the network term vanishing for single-node runs.
+
+Node count and ppn extrapolation (paper Figure 8) probe exactly the
+``log2 p`` and contention structure this model encodes.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application, Parameter, ParameterSpace
+from repro.apps.noise import hash_perturb
+
+__all__ = ["Broadcast", "SPACE"]
+
+SPACE = ParameterSpace(
+    [
+        Parameter("nodes", role="arch", low=1, high=128, integer=True),
+        Parameter("ppn", role="arch", low=1, high=64, integer=True),
+        Parameter("msg", role="input", low=2**16, high=2**26, integer=True),
+    ],
+    name="bcast",
+)
+
+_ALPHA_NET = 2.2e-6      # inter-node latency
+_ALPHA_SHM = 4.0e-7      # intra-node latency
+_BW_NET = 1.15e10        # ~92 Gb/s Omni-Path effective
+_BW_SHM = 6.0e10         # single-rank shared-memory copy bandwidth
+_SWITCH_BYTES = 512 * 1024  # binomial -> scatter/allgather switch
+
+
+def _blend(msg: np.ndarray) -> np.ndarray:
+    """0 -> binomial regime, 1 -> scatter-allgather regime."""
+    return 1.0 / (1.0 + np.exp(-1.5 * np.log2(msg / _SWITCH_BYTES)))
+
+
+class Broadcast(Application):
+    """Simulated MPI_Bcast (paper benchmark "BC")."""
+
+    def __init__(self, noise_sigma: float = 0.01):
+        super().__init__(noise_sigma=noise_sigma, name="bcast")
+
+    @property
+    def space(self) -> ParameterSpace:
+        return SPACE
+
+    def latent_time(self, X: np.ndarray) -> np.ndarray:
+        X = self.space.validate(X)
+        nodes = np.maximum(X[:, 0], 1.0)
+        ppn = np.maximum(X[:, 1], 1.0)
+        msg = X[:, 2]
+
+        # --- inter-node stage (roots of each node) -------------------------
+        log_nodes = np.ceil(np.log2(np.maximum(nodes, 1.0)))
+        t_small_net = log_nodes * (_ALPHA_NET + msg / _BW_NET)
+        t_large_net = (
+            (log_nodes + np.maximum(nodes - 1.0, 0.0)) * _ALPHA_NET
+            + 2.0 * msg * np.maximum(nodes - 1.0, 0.0) / np.maximum(nodes, 1.0) / _BW_NET
+        )
+        w = _blend(msg)
+        t_net = (1.0 - w) * t_small_net + w * t_large_net
+        t_net = np.where(nodes > 1, t_net, 0.0)
+
+        # --- intra-node stage (shared-memory fan-out) -----------------------
+        log_ppn = np.ceil(np.log2(np.maximum(ppn, 1.0)))
+        contention = 1.0 + 0.06 * (ppn - 1.0)
+        t_shm = log_ppn * _ALPHA_SHM + msg * contention / _BW_SHM
+        t_shm = np.where(ppn > 1, t_shm, msg / _BW_SHM * 0.25)
+
+        wiggle = hash_perturb(
+            nodes, ppn, np.log2(np.maximum(msg, 1.0)) * 4.0, amplitude=0.05, salt=37
+        )
+        return (t_net + t_shm + 1.0e-6) * wiggle

@@ -1,0 +1,116 @@
+"""Kripke discrete-ordinates transport proxy-app simulator.
+
+Paper setup (Table 2): energy groups ``2^3 <= groups <= 2^7``, Legendre
+scattering order ``0 <= legendre <= 5``, quadrature points ``2^3 <= quad <=
+2^7``, direction-set count ``8 <= dset <= 64``, group-set count ``1 <= gset
+<= 32``, data layout ``l`` in six nesting orders {dgz, dzg, gdz, gzd, zdg,
+zgd}, solver in {sweep, bj}, plus ``tpp, ppn`` with ``64 <= ppn*tpp <= 128``.
+Nine parameters — the paper's highest-dimensional benchmark.
+
+Latent model: transport work is
+``zones * groups * quad * (legendre+1)^2`` flop-equivalents per iteration.
+
+* The *layout* determines which of (directions, groups, zones) is innermost;
+  cache/vector efficiency improves when the innermost extent is long —
+  a genuine layout x problem-shape interaction (Kripke's raison d'être).
+* *dset/gset* tile directions and groups: many small sets pipeline sweeps
+  better (more parallel wavefronts) but pay per-set launch overhead; too few
+  sets starve the cores.
+* The *sweep* solver converges in a few transport iterations but serializes
+  along wavefronts (pipeline fill cost grows with set count); *bj* (block
+  Jacobi) is embarrassingly parallel per set yet needs ~1.7x the iterations.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application, Parameter, ParameterSpace
+from repro.apps.exafmm import node_constraint, parallel_efficiency
+from repro.apps.noise import hash_perturb
+
+__all__ = ["Kripke", "SPACE", "LAYOUTS", "SOLVERS"]
+
+LAYOUTS = ("dgz", "dzg", "gdz", "gzd", "zdg", "zgd")
+SOLVERS = ("sweep", "bj")
+
+SPACE = ParameterSpace(
+    [
+        Parameter("groups", role="input", low=2**3, high=2**7, integer=True),
+        Parameter("legendre", role="input", low=0, high=5, integer=True, scale="linear"),
+        Parameter("quad", role="input", low=2**3, high=2**7, integer=True),
+        Parameter("dset", role="config", low=8, high=64, integer=True),
+        Parameter("gset", role="config", low=1, high=32, integer=True),
+        Parameter("layout", categories=LAYOUTS),
+        Parameter("solver", categories=SOLVERS),
+        Parameter("tpp", role="arch", low=1, high=64, integer=True),
+        Parameter("ppn", role="arch", low=1, high=64, integer=True),
+    ],
+    constraint=node_constraint,
+    name="kripke",
+)
+
+_ZONES = 4096.0          # 16^3 spatial zones per node (fixed in the runs)
+_RATE = 2.2e9            # flop-equivalents per second per core
+_TRANSPORT_ITERS = 8.0   # sweep-solver source iterations
+_BJ_ITER_FACTOR = 1.7    # block-Jacobi iteration inflation
+_SET_OVERHEAD = 3.0e-6   # per-set kernel launch / boundary cost
+
+# Innermost loop dimension per layout string (last character).
+_INNER = {"d": 0, "g": 1, "z": 2}
+
+
+class Kripke(Application):
+    """Simulated Kripke total solve time (paper benchmark "KRIPKE")."""
+
+    def __init__(self, noise_sigma: float = 0.05):
+        super().__init__(noise_sigma=noise_sigma, name="kripke")
+
+    @property
+    def space(self) -> ParameterSpace:
+        return SPACE
+
+    def latent_time(self, X: np.ndarray) -> np.ndarray:
+        X = self.space.validate(X)
+        groups = X[:, 0]
+        legendre = X[:, 1]
+        quad = X[:, 2]
+        dset = np.maximum(X[:, 3], 1.0)
+        gset = np.maximum(X[:, 4], 1.0)
+        layout = X[:, 5].astype(np.intp)
+        solver = X[:, 6].astype(np.intp)
+        tpp = np.maximum(X[:, 7], 1.0)
+        ppn = np.maximum(X[:, 8], 1.0)
+        p = tpp * ppn
+
+        moments = (legendre + 1.0) ** 2
+        work = _ZONES * groups * quad * moments / _RATE
+
+        # Layout efficiency: long innermost extents vectorize; the innermost
+        # dimension is the last letter of the nesting string.
+        extents = np.stack([quad, groups, np.full_like(quad, _ZONES)], axis=1)
+        inner_idx = np.array([_INNER[l[-1]] for l in LAYOUTS])[layout]
+        inner_extent = extents[np.arange(len(X)), inner_idx]
+        eff_cache = (inner_extent / (inner_extent + 24.0)) * 0.95
+        # Middle-dimension second-order effect distinguishes e.g. dgz vs gdz.
+        outer_idx = np.array([_INNER[l[0]] for l in LAYOUTS])[layout]
+        outer_extent = extents[np.arange(len(X)), outer_idx]
+        eff_cache = eff_cache * (1.0 - 0.08 / (1.0 + np.log2(outer_extent + 1.0)))
+
+        # Direction/group tiling: total tasks per iteration.
+        n_sets = np.minimum(dset, quad) * np.minimum(gset, groups)
+        starvation = np.minimum(n_sets / p, 1.0) ** 0.5
+        t_set_overhead = n_sets * _SET_OVERHEAD
+
+        is_bj = solver == 1
+        iters = np.where(is_bj, _TRANSPORT_ITERS * _BJ_ITER_FACTOR, _TRANSPORT_ITERS)
+        # Sweep pipeline fill: proportional to p / n_sets wavefront latency.
+        pipeline = np.where(is_bj, 1.0, 1.0 + 0.35 * np.sqrt(p) / np.sqrt(n_sets))
+
+        speedup = parallel_efficiency(p) * starvation
+        t_iter = work * pipeline / (eff_cache * np.maximum(speedup, 0.25)) + t_set_overhead
+        t = iters * t_iter + 5.0e-4
+
+        wiggle = hash_perturb(
+            groups, legendre, quad, dset, gset, layout, solver, amplitude=0.05, salt=101
+        )
+        return t * wiggle

@@ -1,0 +1,87 @@
+"""Single-threaded dense matrix-multiplication (MKL GEMM) simulator.
+
+Paper setup: ``C_{m x n} <- A_{m x k} B_{k x n}`` with ``32 <= m, n, k <=
+4096`` on one KNL core (Section 6.0.2).  The latent model combines:
+
+* a compute term ``2 m n k / (peak * eff)`` where the efficiency factor
+  penalizes short dimensions (poor vectorization/blocking when a dimension
+  is comparable to the register-block size);
+* a bandwidth term proportional to the operand footprint, with an effective
+  bandwidth that steps down as the working set spills L1 -> L2 -> DRAM
+  (smooth logistic cliffs, the classic cache staircase);
+* a deterministic alignment wiggle keyed on ``(m, n, k) mod 64`` — the
+  repeatable, high-frequency structure that motivates piecewise models
+  (paper Section 3.2);
+* a fixed call overhead.
+
+Monotone growth in each dimension plus multiplicative regime factors makes
+``log t`` approximately low-rank, which is exactly the structure the paper's
+CP model exploits — but the cache cliffs and the wiggle keep the problem
+non-trivial for global models.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application, Parameter, ParameterSpace
+from repro.apps.noise import hash_perturb
+
+__all__ = ["MatMul", "SPACE"]
+
+SPACE = ParameterSpace(
+    [
+        Parameter("m", role="input", low=32, high=4096, integer=True),
+        Parameter("n", role="input", low=32, high=4096, integer=True),
+        Parameter("k", role="input", low=32, high=4096, integer=True),
+    ],
+    name="matmul",
+)
+
+_PEAK_FLOPS = 4.48e10  # one KNL core, AVX-512 FMA, ~44.8 GF/s
+_L1_BYTES = 32 * 1024
+_L2_BYTES = 1024 * 1024
+_BW_L1 = 2.0e11
+_BW_L2 = 8.0e10
+_BW_DRAM = 1.2e10
+_CALL_OVERHEAD = 2.0e-6
+
+
+def _smoothstep(x: np.ndarray) -> np.ndarray:
+    """C1 logistic-ish ramp from 0 to 1 used for cache-regime blending."""
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def effective_bandwidth(footprint_bytes: np.ndarray) -> np.ndarray:
+    """Blend L1/L2/DRAM bandwidths by working-set size (cache staircase)."""
+    f = np.asarray(footprint_bytes, dtype=float)
+    # Position on each cliff, in octaves past the capacity boundary.
+    s1 = _smoothstep(np.log2(f / _L1_BYTES) * 2.0)
+    s2 = _smoothstep(np.log2(f / _L2_BYTES) * 2.0)
+    bw = _BW_L1 * (1 - s1) + _BW_L2 * (s1 - s1 * s2) + _BW_DRAM * (s1 * s2)
+    return bw
+
+
+class MatMul(Application):
+    """Simulated MKL DGEMM on one KNL core (paper benchmark "MM")."""
+
+    def __init__(self, noise_sigma: float = 0.01):
+        # Kernels are averaged to CoV < 0.01 in the paper -> small sigma.
+        super().__init__(noise_sigma=noise_sigma, name="matmul")
+
+    @property
+    def space(self) -> ParameterSpace:
+        return SPACE
+
+    def latent_time(self, X: np.ndarray) -> np.ndarray:
+        X = self.space.validate(X)
+        m = X[:, 0]
+        n = X[:, 1]
+        k = X[:, 2]
+        flops = 2.0 * m * n * k
+        # Short-dimension inefficiency: register blocks of ~16/16/64.
+        eff = (m / (m + 12.0)) * (n / (n + 12.0)) * (k / (k + 48.0))
+        t_compute = flops / (_PEAK_FLOPS * eff)
+        footprint = 8.0 * (m * k + k * n + m * n)
+        t_mem = footprint / effective_bandwidth(footprint)
+        wiggle = hash_perturb(m % 64, n % 64, k % 64, amplitude=0.04, salt=11)
+        return (t_compute + t_mem + _CALL_OVERHEAD) * wiggle

@@ -1,0 +1,97 @@
+"""Deterministic perturbations and measurement-noise processes.
+
+Real performance surfaces contain repeatable, configuration-specific
+structure that smooth analytic terms miss: memory (mis)alignment, register
+spilling, cache-set conflicts (paper Section 3.2 cites these as the reason
+global predictors fail).  :func:`hash_perturb` injects such structure as a
+*deterministic* multiplicative factor computed from an integer hash of
+(quantized) parameter values, so the latent function is rough but
+reproducible.  Stochastic run-to-run variation is modeled separately by
+:class:`LogNormalNoise`.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["hash01", "hash_perturb", "LogNormalNoise", "NoNoise"]
+
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer (well-mixed 64-bit hash)."""
+    with np.errstate(over="ignore"):
+        x = (x + _GOLDEN).astype(np.uint64)
+        x = (x ^ (x >> np.uint64(30))) * _MIX1
+        x = (x ^ (x >> np.uint64(27))) * _MIX2
+        x = x ^ (x >> np.uint64(31))
+    return x
+
+
+def hash01(*columns, salt: int = 0) -> np.ndarray:
+    """Hash integer-valued columns to deterministic uniforms in ``[0, 1)``.
+
+    All columns are floored to int64, combined with a mixing chain, and
+    finalized with splitmix64.  Equal inputs always map to equal outputs,
+    which is what makes the perturbation part of the *latent* function
+    rather than noise.
+    """
+    if not columns:
+        raise ValueError("need at least one column")
+    acc = np.full(np.broadcast(*columns).shape, np.uint64(salt) + np.uint64(1), dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        for col in columns:
+            c = np.floor(np.asarray(col, dtype=float)).astype(np.int64).astype(np.uint64)
+            acc = _splitmix64(acc ^ (c * _GOLDEN))
+    # 53-bit mantissa -> float in [0, 1)
+    return (acc >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+
+
+def hash_perturb(*columns, amplitude: float = 0.05, salt: int = 0) -> np.ndarray:
+    """Deterministic multiplicative wiggle ``1 +- amplitude`` from a hash.
+
+    Returns values in ``[1 - amplitude, 1 + amplitude]`` suitable for
+    multiplying into a latent execution time.
+    """
+    if not 0 <= amplitude < 1:
+        raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+    u = hash01(*columns, salt=salt)
+    return 1.0 + amplitude * (2.0 * u - 1.0)
+
+
+@dataclass(frozen=True)
+class LogNormalNoise:
+    """Multiplicative lognormal measurement noise ``t * exp(sigma * N(0,1))``.
+
+    ``sigma ~= 0.01`` reproduces the paper's kernel protocol (averaging until
+    coefficient of variation < 0.01); ``sigma ~= 0.05`` mimics applications
+    executed once.
+    """
+
+    sigma: float = 0.01
+
+    def __post_init__(self):
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def apply(self, t: np.ndarray, rng=None) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        if self.sigma == 0:
+            return t.copy()
+        rng = as_generator(rng)
+        return t * np.exp(rng.normal(0.0, self.sigma, size=t.shape))
+
+
+class NoNoise:
+    """Identity noise process (useful for exactness tests)."""
+
+    sigma = 0.0
+
+    def apply(self, t: np.ndarray, rng=None) -> np.ndarray:
+        return np.asarray(t, dtype=float).copy()

@@ -1,0 +1,70 @@
+"""Single-threaded QR factorization (MKL GEQRF) simulator.
+
+Paper setup: ``A_{m x n} -> Q R`` with ``32 <= m, n <= 262144``, ``m >= n``,
+and all matrices in memory (Section 6.0.2).  Householder QR costs
+``2 m n^2 - (2/3) n^3`` flops; the panel-dominated regime for tall-skinny
+matrices (small ``n``) is memory bound, so efficiency improves with ``n``
+(more trailing-matrix level-3 work) and mildly with ``m``.  A bandwidth
+term accounts for the repeated panel reads, and an alignment wiggle mirrors
+the one in :mod:`repro.apps.matmul`.
+
+The constraint ``m >= n`` makes this the paper's example of a constrained
+2-D space; we also cap the matrix at ~12 GB to respect "fits in memory".
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application, Parameter, ParameterSpace
+from repro.apps.noise import hash_perturb
+from repro.apps.matmul import effective_bandwidth
+
+__all__ = ["QR", "SPACE"]
+
+_MAX_ELEMENTS = 12e9 / 8.0  # "all three matrices fit in memory"
+
+
+def _qr_constraint(X: np.ndarray) -> np.ndarray:
+    m, n = X[:, 0], X[:, 1]
+    return (m >= n) & (m * n <= _MAX_ELEMENTS)
+
+
+SPACE = ParameterSpace(
+    [
+        Parameter("m", role="input", low=32, high=262144, integer=True),
+        Parameter("n", role="input", low=32, high=262144, integer=True),
+    ],
+    constraint=_qr_constraint,
+    name="qr",
+)
+
+_PEAK_FLOPS = 4.48e10
+_CALL_OVERHEAD = 3.0e-6
+
+
+class QR(Application):
+    """Simulated MKL GEQRF on one KNL core (paper benchmark "QR")."""
+
+    def __init__(self, noise_sigma: float = 0.01):
+        super().__init__(noise_sigma=noise_sigma, name="qr")
+
+    @property
+    def space(self) -> ParameterSpace:
+        return SPACE
+
+    def latent_time(self, X: np.ndarray) -> np.ndarray:
+        X = self.space.validate(X)
+        m = X[:, 0]
+        n = X[:, 1]
+        flops = 2.0 * m * n**2 - (2.0 / 3.0) * n**3
+        flops = np.maximum(flops, 2.0 * m)  # guard tiny n
+        # Level-3 fraction grows with n; panel (BLAS-2) work drags eff down
+        # for skinny matrices.  m only matters weakly once m >> n.
+        eff = (n / (n + 64.0)) * (m / (m + 256.0)) * 0.92
+        t_compute = flops / (_PEAK_FLOPS * np.maximum(eff, 1e-3))
+        # Panel passes stream the trailing matrix ~n/block times.
+        block = 64.0
+        bytes_streamed = 8.0 * m * n * np.maximum(n / block, 1.0) ** 0.35
+        t_mem = bytes_streamed / effective_bandwidth(8.0 * m * n)
+        wiggle = hash_perturb(m % 64, n % 64, amplitude=0.04, salt=23)
+        return (t_compute + t_mem + _CALL_OVERHEAD) * wiggle

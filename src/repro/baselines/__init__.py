@@ -1,0 +1,38 @@
+"""From-scratch baselines: the nine comparison models of Section 6.0.4.
+
+The paper evaluates CPR against sparse grid regression (SG++), MARS
+(py-earth), and seven scikit-learn regressors.  None of those libraries is
+available offline, so each model family is implemented here in vectorized
+NumPy with the hyper-parameter axes the paper sweeps.
+"""
+from repro.baselines.base import Regressor, LogSpaceRegressor
+from repro.baselines.preprocess import FeatureMap
+from repro.baselines.linear import OLSRegressor, RidgeRegressor, PMNFRegressor
+from repro.baselines.knn import KNNRegressor
+from repro.baselines.tree import DecisionTreeRegressor
+from repro.baselines.forest import RandomForestRegressor, ExtraTreesRegressor
+from repro.baselines.boosting import GradientBoostingRegressor
+from repro.baselines.mlp import MLPRegressor
+from repro.baselines.gp import GaussianProcessRegressor
+from repro.baselines.svm import SVMRegressor
+from repro.baselines.mars import MARSRegressor
+from repro.baselines.sgr import SparseGridRegressor
+
+__all__ = [
+    "Regressor",
+    "LogSpaceRegressor",
+    "FeatureMap",
+    "OLSRegressor",
+    "RidgeRegressor",
+    "PMNFRegressor",
+    "KNNRegressor",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "ExtraTreesRegressor",
+    "GradientBoostingRegressor",
+    "MLPRegressor",
+    "GaussianProcessRegressor",
+    "SVMRegressor",
+    "MARSRegressor",
+    "SparseGridRegressor",
+]

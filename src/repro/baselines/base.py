@@ -1,0 +1,93 @@
+"""Common regressor interface for the baseline models.
+
+All baselines implement ``fit(X, y) -> self`` / ``predict(X) -> y_hat`` on
+plain float matrices.  The experiment harness trains them in log space
+(Section 6.0.4 log-transforms execution times and application parameters);
+:class:`LogSpaceRegressor` packages the target-side transform so baselines
+always see ``log y`` and return ``exp`` of their prediction — making every
+model a positive time predictor, comparable under MLogQ.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import METRICS
+from repro.utils.serialization import model_size_bytes
+from repro.utils.validation import check_1d, check_2d, check_matching_rows
+
+__all__ = ["Regressor", "LogSpaceRegressor"]
+
+
+class Regressor:
+    """Base class: validation helpers, scoring, and size accounting."""
+
+    def fit(self, X, y) -> "Regressor":
+        raise NotImplementedError
+
+    def predict(self, X) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- shared plumbing -----------------------------------------------------
+
+    def _validate_fit(self, X, y):
+        X = check_2d(X, "X")
+        y = check_1d(y, "y")
+        check_matching_rows(X, y)
+        if len(y) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.n_features_ = X.shape[1]
+        return X, y
+
+    def _validate_predict(self, X):
+        X = check_2d(X, "X")
+        if not hasattr(self, "n_features_"):
+            raise RuntimeError(f"{type(self).__name__} is not fitted")
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self.n_features_}"
+            )
+        return X
+
+    def score(self, X, y, metric: str = "mlogq") -> float:
+        """Prediction error under a Table 1 metric (default MLogQ)."""
+        return METRICS[metric](self.predict(X), np.asarray(y, dtype=float))
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized model size (Figure 7's measurement)."""
+        return model_size_bytes(self)
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+class LogSpaceRegressor(Regressor):
+    """Wrap any regressor to fit ``log y`` and predict ``exp(.)``.
+
+    This is the paper's protocol for all supervised-learning baselines: the
+    inner model minimizes (typically) MSE on log execution times, which is
+    exactly the MLogQ2-targeting transformation of Section 5.2, and its
+    exponentiated output is strictly positive.
+    """
+
+    def __init__(self, inner: Regressor):
+        self.inner = inner
+
+    def fit(self, X, y) -> "LogSpaceRegressor":
+        X, y = self._validate_fit(X, y)
+        if np.any(y <= 0):
+            raise ValueError("LogSpaceRegressor requires positive targets")
+        self.inner.fit(X, np.log(y))
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        X = self._validate_predict(X)
+        return np.exp(self.inner.predict(X))
+
+    def __getstate_for_size__(self):
+        hook = getattr(self.inner, "__getstate_for_size__", None)
+        return hook() if callable(hook) else self.inner
+
+    def __repr__(self):
+        return f"LogSpaceRegressor({self.inner!r})"

@@ -1,0 +1,101 @@
+"""Random forests and extremely randomized trees (paper Section 3.5).
+
+Both average an ensemble of :class:`DecisionTreeRegressor`; they differ in
+how variance is injected:
+
+* :class:`RandomForestRegressor` — bootstrap resampling per tree plus
+  best-split search over a random feature subset (Breiman);
+* :class:`ExtraTreesRegressor` — the full sample per tree, random split
+  thresholds (Geurts et al.), which the paper cites as among the most
+  accurate black-box performance models.
+
+The paper tunes forest size (1..64 trees) and tree depth (2..16).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Regressor
+from repro.baselines.tree import DecisionTreeRegressor
+from repro.utils.rng import as_generator, spawn_rngs
+
+__all__ = ["RandomForestRegressor", "ExtraTreesRegressor"]
+
+
+class _Forest(Regressor):
+    """Shared ensemble plumbing for both forest flavours."""
+
+    _bootstrap: bool
+    _splitter: str
+    _default_max_features: object
+
+    def __init__(
+        self,
+        n_estimators: int = 32,
+        max_depth: int = 8,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        seed=None,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.seed = seed
+
+    def fit(self, X, y) -> "_Forest":
+        X, y = self._validate_fit(X, y)
+        rngs = spawn_rngs(self.seed, self.n_estimators + 1)
+        sample_rng = rngs[-1]
+        mf = self.max_features if self.max_features is not None else self._default_max_features
+        self.trees_ = []
+        n = len(y)
+        for t in range(self.n_estimators):
+            if self._bootstrap:
+                rows = as_generator(sample_rng).integers(0, n, size=n)
+                Xt, yt = X[rows], y[rows]
+            else:
+                Xt, yt = X, y
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=mf,
+                splitter=self._splitter,
+                seed=rngs[t],
+            ).fit(Xt, yt)
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        X = self._validate_predict(X)
+        out = np.zeros(len(X))
+        for tree in self.trees_:
+            out += tree.predict(X)
+        return out / len(self.trees_)
+
+    def __getstate_for_size__(self):
+        return [t.__getstate_for_size__() for t in self.trees_]
+
+    def __repr__(self):
+        return (
+            f"{type(self).__name__}(n_estimators={self.n_estimators}, "
+            f"max_depth={self.max_depth})"
+        )
+
+
+class RandomForestRegressor(_Forest):
+    """Bootstrap-aggregated CART forest with feature subsampling."""
+
+    _bootstrap = True
+    _splitter = "best"
+    _default_max_features = "sqrt"
+
+
+class ExtraTreesRegressor(_Forest):
+    """Extremely randomized trees: full sample, random thresholds."""
+
+    _bootstrap = False
+    _splitter = "random"
+    _default_max_features = None

@@ -1,0 +1,127 @@
+"""Gaussian-process regression (paper Section 3.4).
+
+Exact GP regression with a Cholesky factorization of
+``K + noise * I``.  The length scale defaults to the median pairwise
+distance of (a subsample of) the training inputs — the standard heuristic —
+optionally refined by maximizing the log marginal likelihood over a small
+multiplicative grid.  Training cost is O(n^3); ``max_train`` caps the
+training set by random subsampling (the paper itself excludes models that
+take >= 1000 s to optimize, which exact GPs on 2^16 samples would).
+
+Note the O(n^2) persisted size (training inputs + dual weights): this is
+what makes GP one of the largest models in the paper's Figure 7.
+"""
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+from scipy.spatial.distance import pdist
+
+from repro.baselines.base import Regressor
+from repro.baselines.kernels import Kernel, make_kernel
+from repro.utils.rng import as_generator
+
+__all__ = ["GaussianProcessRegressor"]
+
+
+class GaussianProcessRegressor(Regressor):
+    """Exact GP regression with selectable covariance kernel.
+
+    Parameters
+    ----------
+    kernel
+        A :class:`~repro.baselines.kernels.Kernel` instance or registry
+        name (``rbf``, ``matern``, ``rational_quadratic``,
+        ``dot_product_white``, ``constant``).
+    noise
+        Diagonal observation-noise variance (also the WhiteKernel part of
+        the DotProduct+White option).
+    optimize_scale
+        When true, pick the length scale from ``scale_grid`` (multiples of
+        the median heuristic) by maximizing the log marginal likelihood.
+    max_train
+        Random-subsample cap on the training set (exact GP is O(n^3)).
+    """
+
+    def __init__(
+        self,
+        kernel: str | Kernel = "rbf",
+        noise: float = 1e-4,
+        optimize_scale: bool = True,
+        scale_grid=(0.25, 0.5, 1.0, 2.0, 4.0),
+        max_train: int = 2048,
+        seed=None,
+    ):
+        if noise <= 0:
+            raise ValueError("noise must be positive")
+        self.kernel = make_kernel(kernel) if isinstance(kernel, str) else kernel
+        self.noise = float(noise)
+        self.optimize_scale = optimize_scale
+        self.scale_grid = tuple(scale_grid)
+        self.max_train = int(max_train)
+        self.seed = seed
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _median_heuristic(X: np.ndarray, rng) -> float:
+        m = min(len(X), 512)
+        sub = X[rng.choice(len(X), size=m, replace=False)] if len(X) > m else X
+        d = pdist(sub)
+        d = d[d > 0]
+        return float(np.median(d)) if len(d) else 1.0
+
+    def _fit_once(self, kernel, X, y):
+        K = kernel(X, X)
+        K[np.diag_indices_from(K)] += self.noise
+        L = scipy.linalg.cholesky(K, lower=True)
+        alpha = scipy.linalg.cho_solve((L, True), y)
+        # Log marginal likelihood (up to the constant term).
+        lml = -0.5 * float(y @ alpha) - float(np.sum(np.log(np.diag(L))))
+        return alpha, L, lml
+
+    def fit(self, X, y) -> "GaussianProcessRegressor":
+        X, y = self._validate_fit(X, y)
+        rng = as_generator(self.seed)
+        if len(y) > self.max_train:
+            rows = rng.choice(len(y), size=self.max_train, replace=False)
+            X, y = X[rows], y[rows]
+        self.y_mean_ = float(y.mean())
+        yc = y - self.y_mean_
+
+        candidates = []
+        if self.kernel.uses_length_scale:
+            ell0 = self._median_heuristic(X, rng)
+            grid = self.scale_grid if self.optimize_scale else (1.0,)
+            candidates = [self.kernel.with_length_scale(ell0 * s) for s in grid]
+        else:
+            candidates = [self.kernel]
+
+        best = None
+        for kern in candidates:
+            try:
+                alpha, L, lml = self._fit_once(kern, X, yc)
+            except np.linalg.LinAlgError:
+                continue
+            if best is None or lml > best[3]:
+                best = (kern, alpha, L, lml)
+        if best is None:
+            raise RuntimeError("GP fit failed for every candidate length scale")
+        self.kernel_, self.alpha_, self._L, self.lml_ = best
+        self.X_train_ = X
+        return self
+
+    def predict(self, X, return_std: bool = False):
+        X = self._validate_predict(X)
+        Ks = self.kernel_(X, self.X_train_)
+        mean = Ks @ self.alpha_ + self.y_mean_
+        if not return_std:
+            return mean
+        v = scipy.linalg.solve_triangular(self._L, Ks.T, lower=True)
+        prior = np.diagonal(self.kernel_(X, X)).copy()
+        var = np.maximum(prior - np.sum(v * v, axis=0), 0.0)
+        return mean, np.sqrt(var)
+
+    def __getstate_for_size__(self):
+        # What must persist for prediction: training inputs + dual weights.
+        return {"X": self.X_train_, "alpha": self.alpha_, "y_mean": self.y_mean_}

@@ -1,0 +1,56 @@
+"""k-nearest-neighbor regression (the paper's instance-based baseline).
+
+Backed by :class:`scipy.spatial.cKDTree`; predictions average the targets of
+the ``k`` nearest training configurations, optionally weighted by inverse
+distance.  The paper sweeps ``k`` in 1..6 and notes KNN's characteristic
+weaknesses that our benches reproduce: model size equal to the training set
+(Figure 7) and degradation in high-dimensional sparse domains.
+"""
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.baselines.base import Regressor
+
+__all__ = ["KNNRegressor"]
+
+
+class KNNRegressor(Regressor):
+    """k-nearest-neighbors with uniform or inverse-distance weights."""
+
+    def __init__(self, k: int = 3, weights: str = "uniform"):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.k = int(k)
+        self.weights = weights
+
+    def fit(self, X, y) -> "KNNRegressor":
+        X, y = self._validate_fit(X, y)
+        self.tree_ = cKDTree(X)
+        self.y_ = y.copy()
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        X = self._validate_predict(X)
+        k = min(self.k, len(self.y_))
+        dist, idx = self.tree_.query(X, k=k)
+        if k == 1:
+            dist = dist[:, None]
+            idx = idx[:, None]
+        vals = self.y_[idx]
+        if self.weights == "uniform":
+            return vals.mean(axis=1)
+        w = 1.0 / np.maximum(dist, 1e-12)
+        # Exact hits dominate: replace their row weights with an indicator.
+        exact = dist <= 1e-12
+        has_exact = exact.any(axis=1)
+        w[has_exact] = exact[has_exact].astype(float)
+        return (vals * w).sum(axis=1) / w.sum(axis=1)
+
+    def __getstate_for_size__(self):
+        # The KD-tree rebuilds from data; persisted size is data + targets,
+        # mirroring what joblib would store for sklearn's KNeighborsRegressor.
+        return {"X": np.asarray(self.tree_.data), "y": self.y_, "k": self.k}

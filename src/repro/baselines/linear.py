@@ -1,0 +1,165 @@
+"""Global linear models: OLS, ridge, and the performance model normal form.
+
+Section 3.1 of the paper surveys global (non-piecewise) models configured by
+least squares.  We provide:
+
+* :class:`OLSRegressor` / :class:`RidgeRegressor` — linear in the supplied
+  features (the harness feeds log-transformed parameters, so these are the
+  classic log-log power-law models of Barnes et al.);
+* :class:`PMNFRegressor` — the performance model normal form (paper Eq. 1):
+  greedy search over candidate terms ``prod_j x_j^{v_j} * log(x_j)^{w_j}``
+  with user-specified exponent sets, fitted to log execution time by OLS at
+  each step (the log-transformed-predictor variant the paper cites as
+  retaining tolerable accuracy at much smaller search cost).
+"""
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.baselines.base import Regressor
+
+__all__ = ["OLSRegressor", "RidgeRegressor", "PMNFRegressor"]
+
+
+class OLSRegressor(Regressor):
+    """Ordinary least squares with an intercept."""
+
+    def fit(self, X, y) -> "OLSRegressor":
+        X, y = self._validate_fit(X, y)
+        A = np.column_stack([np.ones(len(X)), X])
+        self.coef_, *_ = np.linalg.lstsq(A, y, rcond=None)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        X = self._validate_predict(X)
+        return self.coef_[0] + X @ self.coef_[1:]
+
+
+class RidgeRegressor(Regressor):
+    """L2-regularized least squares (intercept unpenalized)."""
+
+    def __init__(self, alpha: float = 1e-3):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = float(alpha)
+
+    def fit(self, X, y) -> "RidgeRegressor":
+        X, y = self._validate_fit(X, y)
+        xm = X.mean(axis=0)
+        ym = float(y.mean())
+        Xc = X - xm
+        G = Xc.T @ Xc + self.alpha * np.eye(X.shape[1])
+        self.w_ = np.linalg.solve(G, Xc.T @ (y - ym))
+        self.b_ = ym - float(xm @ self.w_)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        X = self._validate_predict(X)
+        return self.b_ + X @ self.w_
+
+
+class PMNFRegressor(Regressor):
+    """Performance model normal form via greedy term search (paper Eq. 1).
+
+    Operates on *raw* (positive) parameters and fits ``log y`` so each term
+    ``x^v log(x)^w`` becomes ``v*log x + w*log log x``-free linear algebra:
+    the model is ``log m(x) = c0 + sum_r c_r * phi_r(x)`` with
+    ``phi_r(x) = sum_j v_{rj} log x_j + w_{rj} log(log x_j + 1)`` restricted
+    to single-parameter and pairwise-product terms.
+
+    Parameters
+    ----------
+    n_terms
+        Number of terms ``R`` selected greedily.
+    exponents, log_exponents
+        Candidate sets for ``v`` and ``w`` (paper: user-specified rationals).
+    interactions
+        Whether to include pairwise products of single-parameter terms.
+    """
+
+    def __init__(
+        self,
+        n_terms: int = 5,
+        exponents=(0.0, 0.5, 1.0, 1.5, 2.0, 3.0),
+        log_exponents=(0.0, 1.0, 2.0),
+        interactions: bool = True,
+    ):
+        if n_terms < 1:
+            raise ValueError("n_terms must be >= 1")
+        self.n_terms = int(n_terms)
+        self.exponents = tuple(exponents)
+        self.log_exponents = tuple(log_exponents)
+        self.interactions = interactions
+
+    def _term_columns(self, X: np.ndarray):
+        """All candidate predictor columns phi_r evaluated on X."""
+        Xp = np.maximum(X, 1e-12)
+        lx = np.log(Xp)
+        llx = np.log1p(np.abs(lx))
+        singles = []
+        descr = []
+        for j in range(X.shape[1]):
+            for v, w in itertools.product(self.exponents, self.log_exponents):
+                if v == 0 and w == 0:
+                    continue
+                singles.append(v * lx[:, j] + w * llx[:, j])
+                descr.append(((j, v, w),))
+        cols = list(singles)
+        desc = list(descr)
+        if self.interactions:
+            for a in range(len(singles)):
+                for b in range(a + 1, len(singles)):
+                    if descr[a][0][0] == descr[b][0][0]:
+                        continue  # same parameter: redundant with singles
+                    cols.append(singles[a] + singles[b])
+                    desc.append(descr[a] + descr[b])
+        return cols, desc
+
+    def fit(self, X, y) -> "PMNFRegressor":
+        X, y = self._validate_fit(X, y)
+        cols, desc = self._term_columns(X)
+        n = len(y)
+        selected: list[int] = []
+        B = np.ones((n, 1))
+        for _ in range(self.n_terms):
+            Q, _ = np.linalg.qr(B)
+            resid = y - Q @ (Q.T @ y)
+            best, best_gain = None, 0.0
+            for ci, col in enumerate(cols):
+                if ci in selected:
+                    continue
+                c = col - Q @ (Q.T @ col)
+                nrm2 = float(c @ c)
+                if nrm2 < 1e-12:
+                    continue
+                gain = float(c @ resid) ** 2 / nrm2
+                if gain > best_gain:
+                    best, best_gain = ci, gain
+            if best is None:
+                break
+            selected.append(best)
+            B = np.column_stack([B, cols[best]])
+        self.coef_, *_ = np.linalg.lstsq(B, y, rcond=None)
+        self.terms_ = [desc[i] for i in selected]
+        return self
+
+    def _design(self, X: np.ndarray) -> np.ndarray:
+        Xp = np.maximum(X, 1e-12)
+        lx = np.log(Xp)
+        llx = np.log1p(np.abs(lx))
+        cols = [np.ones(len(X))]
+        for term in self.terms_:
+            col = np.zeros(len(X))
+            for j, v, w in term:
+                col += v * lx[:, j] + w * llx[:, j]
+            cols.append(col)
+        return np.column_stack(cols)
+
+    def predict(self, X) -> np.ndarray:
+        X = self._validate_predict(X)
+        return self._design(X) @ self.coef_
+
+    def __getstate_for_size__(self):
+        return {"terms": self.terms_, "coef": self.coef_}

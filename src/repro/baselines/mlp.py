@@ -1,0 +1,161 @@
+"""Feed-forward multi-layer perceptron regressor (paper Section 3.3).
+
+A fully-connected network trained with Adam on mean-squared error, matching
+the design space the paper sweeps: 1..8 hidden layers of width 2..2048 with
+relu or tanh activations.  Targets are standardized internally; He/Xavier
+initialization follows the activation choice.  Training stops early when
+the loss plateaus (relative improvement below ``tol`` for ``patience``
+epochs).
+
+The paper finds MLPs the most competitive alternative model in
+high-dimensional domains but 50x larger than CPR at comparable accuracy —
+the size comes from the dense weight matrices this class serializes.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Regressor
+from repro.utils.rng import as_generator
+
+__all__ = ["MLPRegressor"]
+
+_ACTIVATIONS = {
+    "relu": (lambda z: np.maximum(z, 0.0), lambda z, a: (z > 0).astype(float)),
+    "tanh": (np.tanh, lambda z, a: 1.0 - a * a),
+}
+
+
+class MLPRegressor(Regressor):
+    """MLP with Adam, MSE loss, and early stopping on the training loss."""
+
+    def __init__(
+        self,
+        hidden=(64, 64),
+        activation: str = "relu",
+        learning_rate: float = 1e-3,
+        batch_size: int = 128,
+        max_epochs: int = 200,
+        l2: float = 1e-6,
+        tol: float = 1e-6,
+        patience: int = 12,
+        seed=None,
+    ):
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"activation must be one of {sorted(_ACTIVATIONS)}")
+        hidden = tuple(int(h) for h in hidden)
+        if not hidden or any(h < 1 for h in hidden):
+            raise ValueError("hidden must be a non-empty tuple of positive ints")
+        self.hidden = hidden
+        self.activation = activation
+        self.learning_rate = float(learning_rate)
+        self.batch_size = int(batch_size)
+        self.max_epochs = int(max_epochs)
+        self.l2 = float(l2)
+        self.tol = float(tol)
+        self.patience = int(patience)
+        self.seed = seed
+
+    # -- internals --------------------------------------------------------------
+
+    def _init_params(self, sizes, rng):
+        act_gain = 2.0 if self.activation == "relu" else 1.0
+        Ws, bs = [], []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            std = np.sqrt(act_gain / fan_in)
+            Ws.append(rng.standard_normal((fan_in, fan_out)) * std)
+            bs.append(np.zeros(fan_out))
+        return Ws, bs
+
+    def _forward(self, X, Ws, bs):
+        act, _ = _ACTIVATIONS[self.activation]
+        zs, activations = [], [X]
+        a = X
+        for l, (W, b) in enumerate(zip(Ws, bs)):
+            z = a @ W + b
+            zs.append(z)
+            a = z if l == len(Ws) - 1 else act(z)
+            activations.append(a)
+        return zs, activations
+
+    def fit(self, X, y) -> "MLPRegressor":
+        X, y = self._validate_fit(X, y)
+        rng = as_generator(self.seed)
+        self.y_mean_ = float(y.mean())
+        self.y_std_ = float(y.std()) or 1.0
+        t = (y - self.y_mean_) / self.y_std_
+
+        sizes = (X.shape[1], *self.hidden, 1)
+        Ws, bs = self._init_params(sizes, rng)
+        mW = [np.zeros_like(W) for W in Ws]
+        vW = [np.zeros_like(W) for W in Ws]
+        mb = [np.zeros_like(b) for b in bs]
+        vb = [np.zeros_like(b) for b in bs]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        _, dact = _ACTIVATIONS[self.activation]
+
+        n = len(t)
+        bsz = min(self.batch_size, n)
+        best_loss = np.inf
+        stall = 0
+        step = 0
+        self.loss_history_ = []
+        for _epoch in range(self.max_epochs):
+            perm = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, bsz):
+                rows = perm[start : start + bsz]
+                xb, tb = X[rows], t[rows]
+                zs, acts = self._forward(xb, Ws, bs)
+                pred = acts[-1][:, 0]
+                err = pred - tb
+                epoch_loss += float(err @ err)
+                # Backprop.
+                delta = (2.0 / len(rows)) * err[:, None]
+                gWs = [None] * len(Ws)
+                gbs = [None] * len(bs)
+                for l in range(len(Ws) - 1, -1, -1):
+                    gWs[l] = acts[l].T @ delta + self.l2 * Ws[l]
+                    gbs[l] = delta.sum(axis=0)
+                    if l > 0:
+                        delta = (delta @ Ws[l].T) * dact(zs[l - 1], acts[l])
+                # Adam update.
+                step += 1
+                corr1 = 1.0 - beta1**step
+                corr2 = 1.0 - beta2**step
+                lr = self.learning_rate
+                for l in range(len(Ws)):
+                    mW[l] = beta1 * mW[l] + (1 - beta1) * gWs[l]
+                    vW[l] = beta2 * vW[l] + (1 - beta2) * gWs[l] ** 2
+                    Ws[l] -= lr * (mW[l] / corr1) / (np.sqrt(vW[l] / corr2) + eps)
+                    mb[l] = beta1 * mb[l] + (1 - beta1) * gbs[l]
+                    vb[l] = beta2 * vb[l] + (1 - beta2) * gbs[l] ** 2
+                    bs[l] -= lr * (mb[l] / corr1) / (np.sqrt(vb[l] / corr2) + eps)
+            epoch_loss /= n
+            self.loss_history_.append(epoch_loss)
+            if epoch_loss < best_loss * (1.0 - self.tol):
+                best_loss = epoch_loss
+                stall = 0
+            else:
+                stall += 1
+                if stall >= self.patience:
+                    break
+        self.Ws_, self.bs_ = Ws, bs
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        X = self._validate_predict(X)
+        _, acts = self._forward(X, self.Ws_, self.bs_)
+        return acts[-1][:, 0] * self.y_std_ + self.y_mean_
+
+    def __getstate_for_size__(self):
+        return {
+            "Ws": self.Ws_,
+            "bs": self.bs_,
+            "y_mean": self.y_mean_,
+            "y_std": self.y_std_,
+            "activation": self.activation,
+        }
+
+    def __repr__(self):
+        return f"MLPRegressor(hidden={self.hidden}, activation={self.activation!r})"

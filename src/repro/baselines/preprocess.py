@@ -1,0 +1,99 @@
+"""Feature preprocessing for the baseline models.
+
+The harness log-transforms numerical application parameters before handing
+them to supervised baselines (Section 6.0.4), standardizes columns (scale
+matters for KNN/SVM/GP/MLP), and one-hot encodes categorical parameters
+(solver/layout indices carry no metric structure).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import ParameterSpace
+from repro.utils.validation import check_2d
+
+__all__ = ["FeatureMap"]
+
+
+class FeatureMap:
+    """Column-wise feature transform derived from a parameter space.
+
+    * numeric, log-scale parameters -> ``log(x)``, then z-scored;
+    * numeric, linear-scale parameters -> ``x``, then z-scored;
+    * categorical parameters -> one-hot indicator block (optionally plain
+      index for tree-based models, which split on indices natively).
+
+    Standardization statistics come from the training matrix passed to
+    :meth:`fit`.
+    """
+
+    def __init__(self, space: ParameterSpace | None = None, one_hot: bool = True):
+        self.space = space
+        self.one_hot = one_hot
+
+    def fit(self, X: np.ndarray) -> "FeatureMap":
+        X = check_2d(X, "X")
+        self._n_in = X.shape[1]
+        raw = self._expand(X)
+        self.mean_ = raw.mean(axis=0)
+        std = raw.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        if self.space is not None and self.one_hot:
+            # Do not standardize one-hot columns: keep 0/1 indicators.
+            is_onehot = self._onehot_mask()
+            self.mean_[is_onehot] = 0.0
+            self.scale_[is_onehot] = 1.0
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        X = check_2d(X, "X")
+        if X.shape[1] != self._n_in:
+            raise ValueError(f"expected {self._n_in} columns, got {X.shape[1]}")
+        return (self._expand(X) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    # -- internals -------------------------------------------------------------
+
+    def _expand(self, X: np.ndarray) -> np.ndarray:
+        if self.space is None:
+            # No structural information: log positive columns, pass others.
+            cols = []
+            for j in range(X.shape[1]):
+                col = X[:, j]
+                cols.append(np.log(col) if np.all(col > 0) else col)
+            return np.column_stack(cols)
+        if X.shape[1] != self.space.dimension:
+            raise ValueError(
+                f"X has {X.shape[1]} columns, space has {self.space.dimension}"
+            )
+        cols = []
+        for j, p in enumerate(self.space):
+            col = X[:, j]
+            if p.is_categorical:
+                if self.one_hot:
+                    idx = np.rint(col).astype(np.intp)
+                    if np.any((idx < 0) | (idx >= p.n_categories)):
+                        raise ValueError(f"bad category index for {p.name!r}")
+                    block = np.zeros((len(col), p.n_categories))
+                    block[np.arange(len(col)), idx] = 1.0
+                    cols.append(block)
+                else:
+                    cols.append(col[:, None])
+            elif p.resolved_scale == "log":
+                cols.append(np.log(np.maximum(col, 1e-300))[:, None])
+            else:
+                cols.append(col[:, None])
+        return np.hstack(cols)
+
+    def _onehot_mask(self) -> np.ndarray:
+        mask = []
+        for p in self.space:
+            width = p.n_categories if (p.is_categorical and self.one_hot) else 1
+            mask.extend([p.is_categorical and self.one_hot] * width)
+        return np.asarray(mask, dtype=bool)
+
+    @property
+    def n_features_out(self) -> int:
+        return len(self.mean_)

@@ -1,0 +1,12 @@
+"""Sparse grid regression (SGR) — the paper's closest prior art (SG++).
+
+Hierarchical piecewise-linear basis functions on a regular sparse grid of a
+user-chosen discretization level, least-squares fitted with conjugate
+gradients, plus surplus-driven spatial adaptivity (Pfluger 2010), matching
+the knobs the paper sweeps in Section 6.0.4: level 2..8, 1..16 refinements,
+4..32 adaptive grid points.
+"""
+from repro.baselines.sgr.grid import SparseGridBasis, level_vectors
+from repro.baselines.sgr.regression import SparseGridRegressor
+
+__all__ = ["SparseGridBasis", "level_vectors", "SparseGridRegressor"]

@@ -1,0 +1,39 @@
+"""CPR — the paper's contribution: CP tensor completion performance models.
+
+Submodules
+----------
+``grid``
+    Regular-grid discretization of the modeling domain (paper Section 5.1).
+``tensor``
+    Observed-tensor assembly: per-cell mean execution times and index sets.
+``completion``
+    Tensor-completion optimizers: ALS, CCD, SGD (least-squares losses) and
+    AMN (interior-point Newton for the positive MLogQ2 model).
+``interp``
+    Multilinear inter/extrapolation of tensor elements (paper Eq. 5).
+``extrap``
+    Out-of-domain extrapolation via Perron rank-1 factors + MARS splines
+    (paper Section 5.3).
+``model``
+    :class:`CPRModel`, the public fit/predict API.
+"""
+from repro.core.grid import (
+    Mode,
+    UniformMode,
+    LogMode,
+    CategoricalMode,
+    TensorGrid,
+)
+from repro.core.tensor import ObservedTensor
+from repro.core.model import CPRModel, TuckerModel
+
+__all__ = [
+    "Mode",
+    "UniformMode",
+    "LogMode",
+    "CategoricalMode",
+    "TensorGrid",
+    "ObservedTensor",
+    "CPRModel",
+    "TuckerModel",
+]

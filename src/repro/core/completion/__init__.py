@@ -1,0 +1,50 @@
+"""Tensor-completion optimizers for CP decomposition (paper Section 4.2).
+
+* :func:`complete_als` — alternating least squares on a (log-transformed)
+  least-squares loss; the paper's interpolation workhorse (Section 5.2).
+* :func:`complete_ccd` — cyclic coordinate descent; ALS with per-column
+  scalar updates (factor-``R`` cheaper per sweep, slower convergence).
+* :func:`complete_sgd` — minibatch stochastic gradient descent.
+* :func:`complete_amn` — alternating minimization via (Gauss-)Newton with a
+  log-barrier interior-point scheme, minimizing the MLogQ2 loss under
+  strictly positive factors; the paper's extrapolation model (Section 5.3).
+* :func:`complete_lm` — Levenberg-Marquardt over all factors at once, the
+  historically first completion method the paper cites (Tomasi & Bro).
+"""
+from repro.core.completion.state import (
+    init_factors,
+    init_positive_factors,
+    cp_eval,
+    cp_full,
+    cp_size_bytes,
+    khatri_rao_rows,
+    CompletionResult,
+)
+from repro.core.completion.als import complete_als
+from repro.core.completion.ccd import complete_ccd
+from repro.core.completion.sgd import complete_sgd
+from repro.core.completion.amn import complete_amn
+from repro.core.completion.lm import complete_lm
+
+OPTIMIZERS = {
+    "als": complete_als,
+    "ccd": complete_ccd,
+    "sgd": complete_sgd,
+    "amn": complete_amn,
+    "lm": complete_lm,
+}
+
+__all__ = [
+    "init_factors",
+    "init_positive_factors",
+    "cp_eval",
+    "cp_full",
+    "cp_size_bytes",
+    "khatri_rao_rows",
+    "CompletionResult",
+    "complete_als",
+    "complete_ccd",
+    "complete_sgd",
+    "complete_amn",
+    "OPTIMIZERS",
+]

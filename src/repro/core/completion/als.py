@@ -1,0 +1,167 @@
+"""Alternating least squares for tensor completion (paper Section 4.2.1).
+
+ALS sweeps over modes; for mode ``j`` it fixes all other factors and solves,
+independently for every row ``i`` of ``U_j``, the regularized linear
+least-squares problem
+
+    min_u  (1/|Omega_i|) * sum_{k in Omega_i} (t_k - K_k . u)^2 + lam ||u||^2
+
+where ``K_k`` is the Khatri-Rao design row of observation ``k`` (the
+element-wise product of the other factors' rows).  Each row solve is an
+``R x R`` positive-definite system.
+
+Implementation notes (hot path, vectorized per the hpc-parallel guides):
+
+* The full Khatri-Rao row block ``K`` (``nnz x R``) is formed once per mode
+  per sweep with fancy-indexed gathers and in-place products.
+* Observations are grouped by their mode-``j`` index with one ``argsort``;
+  each row's normal equations are then two BLAS calls on a contiguous slice
+  (``K_i^T K_i`` and ``K_i^T t_i``), avoiding an ``nnz x R^2`` intermediate.
+* Rows with no observations are left at their current value (they are
+  determined only by the prior/initialization, as in the paper's setup).
+"""
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.core.completion.objectives import ls_objective
+from repro.core.completion.state import (
+    CompletionResult,
+    init_factors,
+    khatri_rao_rows,
+)
+from repro.utils.rng import as_generator
+
+__all__ = ["complete_als", "als_update_mode"]
+
+
+def _solve_rows(K, t, row_idx, n_rows, lam, out, scale_rows):
+    """Solve the per-row regularized normal equations for one mode.
+
+    ``K`` (m, R) and ``t`` (m,) are the design rows / targets, ``row_idx``
+    the mode index of each observation.  Results are written into ``out``
+    (the factor matrix) in place for rows that have observations.
+
+    With ``scale_rows=True`` the data term is averaged over the row's
+    observation set (the paper's row objective); with ``False`` it is the
+    plain sum, making every mode update an exact block-coordinate-descent
+    step on the global objective of Eq. 3 (hence provably monotone).
+    """
+    R = K.shape[1]
+    order = np.argsort(row_idx, kind="stable")
+    sorted_rows = row_idx[order]
+    Ks = K[order]
+    ts = t[order]
+    # Segment boundaries of each distinct row.
+    bounds = np.searchsorted(sorted_rows, np.arange(n_rows + 1))
+    eye = np.eye(R)
+    for i in range(n_rows):
+        lo, hi = bounds[i], bounds[i + 1]
+        if lo == hi:
+            continue  # unobserved row: keep current value
+        Ki = Ks[lo:hi]
+        ti = ts[lo:hi]
+        ni = (hi - lo) if scale_rows else 1.0
+        G = (Ki.T @ Ki) / ni + lam * eye
+        b = (Ki.T @ ti) / ni
+        try:
+            out[i] = scipy.linalg.solve(G, b, assume_a="pos")
+        except np.linalg.LinAlgError:
+            out[i] = np.linalg.lstsq(G, b, rcond=None)[0]
+
+
+def _rebalance(factors) -> None:
+    """Equalize per-component column norms across modes (in place).
+
+    A CP tensor is invariant to rescaling a component's column in one mode
+    and inversely in another; ALS drifts toward unbalanced factors, which
+    hurts conditioning and makes unobserved-cell products extreme.  Each
+    component's columns are rescaled to share the geometric-mean norm.
+    """
+    d = len(factors)
+    norms = np.stack([np.linalg.norm(U, axis=0) for U in factors])  # (d, R)
+    norms = np.maximum(norms, 1e-300)
+    target = np.exp(np.log(norms).mean(axis=0))  # geometric mean per component
+    for j, U in enumerate(factors):
+        U *= target / norms[j]
+
+
+def als_update_mode(factors, indices, values, j: int, lam: float, scale_rows: bool = True) -> None:
+    """One ALS mode update (in place): re-solve every row of ``U_j``."""
+    K = khatri_rao_rows(factors, indices, skip=j)
+    _solve_rows(
+        K, values, indices[:, j], factors[j].shape[0], lam, factors[j], scale_rows
+    )
+
+
+def complete_als(
+    shape,
+    indices,
+    values,
+    rank: int,
+    regularization: float = 1e-5,
+    max_sweeps: int = 100,
+    tol: float = 1e-5,
+    seed=None,
+    factors: list | None = None,
+    scale_rows: bool = True,
+) -> CompletionResult:
+    """Fit a rank-``rank`` CP decomposition to observed entries with ALS.
+
+    Parameters
+    ----------
+    shape
+        Tensor shape ``(I_1, ..., I_d)``.
+    indices, values
+        Observed multi-indices ``(nnz, d)`` and their values ``(nnz,)``.
+        For the paper's interpolation model the values are log-transformed
+        cell means; this routine is agnostic to the transformation.
+    regularization
+        ``lam`` in Eq. 3 (paper sweeps ``1e-6 .. 1e-3``).
+    max_sweeps, tol
+        Sweep limit (paper: 100) and relative-decrease stopping tolerance.
+    factors
+        Warm-start factors (mutated); fresh Gaussian init when ``None``.
+    scale_rows
+        ``True`` (paper): per-row objectives average over the row's
+        observations, which rescales the effective regularization per row.
+        ``False``: plain block coordinate descent on Eq. 3, whose
+        ``history`` is then monotonically non-increasing.
+
+    Returns
+    -------
+    CompletionResult
+        ``history[k]`` is the Eq. 3 objective (mean data term) after sweep
+        ``k``; monotone non-increasing when ``scale_rows=False``.
+    """
+    indices = np.asarray(indices, dtype=np.intp)
+    values = np.asarray(values, dtype=float)
+    if len(indices) != len(values):
+        raise ValueError("indices/values length mismatch")
+    if len(values) == 0:
+        raise ValueError("cannot complete a tensor with zero observations")
+    d = len(shape)
+    if d < 2:
+        raise ValueError("tensor completion needs order >= 2")
+    if factors is None:
+        factors = init_factors(shape, rank, rng=as_generator(seed))
+    history = [ls_objective(factors, indices, values, regularization)]
+    converged = False
+    sweeps = 0
+    for sweep in range(max_sweeps):
+        for j in range(d):
+            als_update_mode(factors, indices, values, j, regularization, scale_rows)
+        # Gauge fix: balancing column norms leaves the CP tensor unchanged
+        # and weakly decreases the Frobenius penalty, so monotonicity of the
+        # scale_rows=False history is preserved.
+        _rebalance(factors)
+        sweeps = sweep + 1
+        history.append(ls_objective(factors, indices, values, regularization))
+        prev, cur = history[-2], history[-1]
+        if prev - cur <= tol * max(prev, 1e-30):
+            converged = True
+            break
+    return CompletionResult(
+        factors=factors, history=history, converged=converged, n_sweeps=sweeps
+    )

@@ -1,0 +1,188 @@
+"""Alternating minimization via Newton's method with log barriers (AMN).
+
+The paper's extrapolation model (Sections 4.2.2 and 5.3) minimizes Eq. 3
+with the MLogQ2 loss ``phi(t, that) = (log t - log that)^2`` subject to
+*strictly positive* factor matrices, enforced with element-wise log-barrier
+terms scaled by a barrier parameter ``eta``.  Following the interior-point
+recipe of Section 6.0.4:
+
+* ``eta`` starts at 10 and decreases geometrically by a factor of 8 until it
+  drops below a floor (the paper uses 1e-11; we also stop at the
+  regularization magnitude, Section 4.2.2);
+* for each ``eta``, alternating sweeps solve row-wise subproblems with (at
+  most 40) damped Newton iterations.
+
+The row subproblem for row ``u`` of mode ``j`` (observations ``Omega_i``,
+design rows ``K`` from the Khatri-Rao product, ``s = K u > 0``) is
+
+    g(u) = (1/n_i) sum_k (log s_k - log t_k)^2 + lam ||u||^2
+           - eta * sum_r log(u_r).
+
+We use the Gauss-Newton Hessian approximation
+``H = (2/n_i) K^T diag(1/s^2) K + 2 lam I + eta diag(1/u^2)``, which is
+positive definite everywhere in the interior (the exact Hessian loses
+definiteness when residuals are large), plus a fraction-to-the-boundary
+step rule and Armijo backtracking — the standard safeguards of
+interior-point practice (Nocedal & Wright).
+"""
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.core.completion.objectives import logq_objective
+from repro.core.completion.state import (
+    CompletionResult,
+    init_positive_factors,
+    khatri_rao_rows,
+)
+from repro.utils.rng import as_generator
+
+__all__ = ["complete_amn"]
+
+_POS_FLOOR = 1e-12  # numerical floor keeping iterates strictly interior
+
+
+def _row_objective(K, logt, u, lam, eta, n_inv):
+    s = K @ u
+    if np.any(s <= 0) or np.any(u <= 0):
+        return np.inf
+    r = np.log(s) - logt
+    return (
+        n_inv * float(r @ r)
+        + lam * float(u @ u)
+        - eta * float(np.sum(np.log(u)))
+    )
+
+
+def _newton_row(K, logt, u, lam, eta, max_iter, tol):
+    """Damped Gauss-Newton iterations on one row subproblem (in place)."""
+    n_inv = 1.0 / len(logt)
+    R = len(u)
+    eye2lam = 2.0 * lam * np.eye(R)
+    f = _row_objective(K, logt, u, lam, eta, n_inv)
+    for _ in range(max_iter):
+        s = K @ u
+        r = np.log(s) - logt
+        Ks = K / s[:, None]
+        grad = 2.0 * n_inv * (Ks.T @ r) + 2.0 * lam * u - eta / u
+        H = 2.0 * n_inv * (Ks.T @ Ks) + eye2lam + np.diag(eta / (u * u))
+        try:
+            step = scipy.linalg.solve(H, -grad, assume_a="pos")
+        except np.linalg.LinAlgError:
+            step = -grad / (np.diag(H) + 1e-12)
+        # Fraction-to-the-boundary: keep the iterate strictly positive.
+        neg = step < 0
+        if np.any(neg):
+            alpha_max = float(np.min(-0.995 * u[neg] / step[neg]))
+            alpha = min(1.0, alpha_max)
+        else:
+            alpha = 1.0
+        # Armijo backtracking on the barrier objective.
+        g_dot_step = float(grad @ step)
+        improved = False
+        for _bt in range(30):
+            trial = u + alpha * step
+            f_trial = _row_objective(K, logt, trial, lam, eta, n_inv)
+            if f_trial <= f + 1e-4 * alpha * g_dot_step:
+                u = trial
+                f = f_trial
+                improved = True
+                break
+            alpha *= 0.5
+        if not improved:
+            break
+        if np.linalg.norm(alpha * step) <= tol * (np.linalg.norm(u) + 1e-30):
+            break
+    return np.maximum(u, _POS_FLOOR), f
+
+
+def complete_amn(
+    shape,
+    indices,
+    values,
+    rank: int,
+    regularization: float = 1e-5,
+    max_sweeps: int = 4,
+    tol: float = 1e-6,
+    seed=None,
+    factors: list | None = None,
+    barrier_start: float = 10.0,
+    barrier_reduction: float = 8.0,
+    barrier_min: float = 1e-11,
+    newton_iters: int = 40,
+) -> CompletionResult:
+    """Fit a strictly positive CP model by interior-point AMN.
+
+    Parameters
+    ----------
+    values
+        Observed cell means, strictly positive (times, not log-times).
+    max_sweeps
+        Alternating sweeps per barrier value.
+    barrier_start, barrier_reduction, barrier_min
+        The paper's schedule: ``eta = 10, 10/8, 10/64, ...`` until
+        ``eta <= max(barrier_min, regularization)``.
+    newton_iters
+        Newton iteration cap per row subproblem (paper: 40).
+
+    Returns
+    -------
+    CompletionResult
+        ``history`` holds the MLogQ2 objective (no barrier term) after each
+        sweep; all returned factors are strictly positive, so the Perron
+        rank-1 extrapolation of Section 5.3 applies.
+    """
+    indices = np.asarray(indices, dtype=np.intp)
+    values = np.asarray(values, dtype=float)
+    if len(indices) != len(values):
+        raise ValueError("indices/values length mismatch")
+    if len(values) == 0:
+        raise ValueError("cannot complete a tensor with zero observations")
+    if np.any(values <= 0):
+        raise ValueError("AMN requires strictly positive observed values")
+    d = len(shape)
+    if d < 2:
+        raise ValueError("tensor completion needs order >= 2")
+    lam = float(regularization)
+    if factors is None:
+        gmean = float(np.exp(np.mean(np.log(values))))
+        factors = init_positive_factors(
+            shape, rank, rng=as_generator(seed), mean=gmean
+        )
+    logt = np.log(values)
+
+    history = [logq_objective(factors, indices, values, lam)]
+    eta = float(barrier_start)
+    eta_floor = max(float(barrier_min), lam)
+    sweeps = 0
+    converged = False
+    while True:
+        for _sweep in range(max_sweeps):
+            for j in range(d):
+                K = khatri_rao_rows(factors, indices, skip=j)
+                row_idx = indices[:, j]
+                order = np.argsort(row_idx, kind="stable")
+                sorted_rows = row_idx[order]
+                Ks = K[order]
+                ls = logt[order]
+                bounds = np.searchsorted(sorted_rows, np.arange(shape[j] + 1))
+                U = factors[j]
+                for i in range(shape[j]):
+                    lo, hi = bounds[i], bounds[i + 1]
+                    if lo == hi:
+                        continue
+                    U[i], _ = _newton_row(
+                        Ks[lo:hi], ls[lo:hi], U[i].copy(), lam, eta,
+                        newton_iters, tol,
+                    )
+            sweeps += 1
+            history.append(logq_objective(factors, indices, values, lam))
+        if eta <= eta_floor:
+            prev = history[-1 - max_sweeps] if len(history) > max_sweeps else history[0]
+            converged = abs(prev - history[-1]) <= tol * max(abs(prev), 1e-30)
+            break
+        eta /= barrier_reduction
+    return CompletionResult(
+        factors=factors, history=history, converged=converged, n_sweeps=sweeps
+    )

@@ -1,0 +1,275 @@
+"""Regular-grid discretization of the modeling domain (paper Section 5.1).
+
+Each benchmark parameter maps to one tensor *mode*.  Numerical parameters
+are discretized into ``I_j`` sub-intervals with uniform or logarithmic
+spacing; each tensor element is associated with the cell's mid-point
+(geometric mid-point under log spacing).  Categorical parameters index their
+choices directly and never interpolate.
+
+The paper's convention (Section 6.0.4): input and architectural parameters
+get log spacing, configuration parameters get linear spacing — implemented
+in :meth:`TensorGrid.from_space`.
+
+Note on integer mid-points: the paper rounds log-space mid-points up
+(``ceil``) because it re-executes applications at mid-point configurations.
+We keep exact geometric mid-points since interpolation weights live in the
+transformed (log) coordinate where exactness matters; the simulators accept
+real-valued inputs.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import ParameterSpace
+
+__all__ = ["Mode", "UniformMode", "LogMode", "CategoricalMode", "TensorGrid"]
+
+
+class Mode:
+    """One tensor mode: a discretization of a single parameter's range.
+
+    Attributes
+    ----------
+    n_cells
+        Number of sub-intervals (the tensor dimension ``I_j``).
+    midpoints
+        Cell mid-points in original parameter units, shape ``(n_cells,)``.
+    interpolates
+        Whether Eq. 5 interpolation applies along this mode (False for
+        categorical modes).
+    """
+
+    name: str = ""
+    n_cells: int = 0
+    interpolates: bool = True
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        """Map parameter values to the coordinate ``h_j`` used by Eq. 5."""
+        raise NotImplementedError
+
+    def cell_of(self, values: np.ndarray) -> np.ndarray:
+        """Cell index of each value, clipped into ``[0, n_cells - 1]``."""
+        raise NotImplementedError
+
+    def in_domain(self, values: np.ndarray) -> np.ndarray:
+        """Mask of values inside ``[X_0, X_I]`` (the modeling domain)."""
+        raise NotImplementedError
+
+    @property
+    def midpoints_h(self) -> np.ndarray:
+        """Mid-points in transformed coordinates (cached)."""
+        if not hasattr(self, "_midpoints_h"):
+            self._midpoints_h = self.transform(self.midpoints)
+        return self._midpoints_h
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name!r}, n_cells={self.n_cells})"
+
+
+class _EdgeMode(Mode):
+    """Shared implementation for modes defined by a sorted edge array."""
+
+    def __init__(self, name: str, edges: np.ndarray):
+        edges = np.asarray(edges, dtype=float)
+        if edges.ndim != 1 or len(edges) < 2:
+            raise ValueError("need at least two edges")
+        if np.any(np.diff(edges) <= 0):
+            raise ValueError(f"edges must be strictly increasing for {name!r}")
+        self.name = name
+        self.edges = edges
+        self.n_cells = len(edges) - 1
+
+    @property
+    def low(self) -> float:
+        return float(self.edges[0])
+
+    @property
+    def high(self) -> float:
+        return float(self.edges[-1])
+
+    def cell_of(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        idx = np.searchsorted(self.edges, values, side="right") - 1
+        return np.clip(idx, 0, self.n_cells - 1)
+
+    def in_domain(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        return (values >= self.edges[0]) & (values <= self.edges[-1])
+
+
+class UniformMode(_EdgeMode):
+    """Uniformly spaced sub-intervals; ``h_j(x) = x`` (identity)."""
+
+    def __init__(self, name: str, low: float, high: float, n_cells: int):
+        if n_cells < 1:
+            raise ValueError("n_cells must be >= 1")
+        super().__init__(name, np.linspace(low, high, n_cells + 1))
+        self.midpoints = 0.5 * (self.edges[:-1] + self.edges[1:])
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=float)
+
+
+class LogMode(_EdgeMode):
+    """Logarithmically spaced sub-intervals; ``h_j(x) = log(x)``.
+
+    Mid-points are geometric means of cell edges, the paper's
+    ``exp((log X_i + log X_{i+1}) / 2)``.
+    """
+
+    def __init__(self, name: str, low: float, high: float, n_cells: int):
+        if n_cells < 1:
+            raise ValueError("n_cells must be >= 1")
+        if low <= 0:
+            raise ValueError(f"log spacing requires positive range, got low={low}")
+        super().__init__(name, np.geomspace(low, high, n_cells + 1))
+        self.midpoints = np.sqrt(self.edges[:-1] * self.edges[1:])
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        if np.any(values <= 0):
+            raise ValueError(f"mode {self.name!r}: log transform needs positive values")
+        return np.log(values)
+
+
+class CategoricalMode(Mode):
+    """One tensor index per category; no interpolation along this mode."""
+
+    interpolates = False
+
+    def __init__(self, name: str, n_categories: int):
+        if n_categories < 1:
+            raise ValueError("need at least one category")
+        self.name = name
+        self.n_cells = int(n_categories)
+        self.midpoints = np.arange(self.n_cells, dtype=float)
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=float)
+
+    def cell_of(self, values: np.ndarray) -> np.ndarray:
+        idx = np.rint(np.asarray(values, dtype=float)).astype(np.intp)
+        if np.any((idx < 0) | (idx >= self.n_cells)):
+            raise ValueError(
+                f"mode {self.name!r}: category index out of range [0, {self.n_cells})"
+            )
+        return idx
+
+    def in_domain(self, values: np.ndarray) -> np.ndarray:
+        idx = np.rint(np.asarray(values, dtype=float))
+        return (idx >= 0) & (idx < self.n_cells)
+
+
+class TensorGrid:
+    """A tensor-product grid over a full parameter space.
+
+    Rows of a configuration matrix ``X`` map to multi-indices via
+    :meth:`cell_indices`; ``shape`` is the tensor shape the CP model is
+    fitted to.
+    """
+
+    def __init__(self, modes):
+        self.modes = tuple(modes)
+        if not self.modes:
+            raise ValueError("need at least one mode")
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_space(
+        cls,
+        space: ParameterSpace,
+        cells: int | dict | list = 16,
+        X: np.ndarray | None = None,
+    ) -> "TensorGrid":
+        """Build a grid following the paper's discretization conventions.
+
+        Parameters
+        ----------
+        space
+            The benchmark parameter space (one mode per parameter).
+        cells
+            Target sub-interval count per numerical mode: an int (same for
+            every mode), a dict ``{name: int}``, or a list in parameter
+            order.  Integer parameters are capped at their number of
+            distinct values; categorical modes always get one index per
+            category.
+        X
+            Optional training configurations; when given, numeric mode
+            ranges shrink to the observed data range (the modeling domain
+            is "ascertained from the training set", Section 2.1).
+        """
+        if isinstance(cells, int):
+            cells_for = {p.name: cells for p in space}
+        elif isinstance(cells, dict):
+            cells_for = {p.name: cells.get(p.name, 16) for p in space}
+        else:
+            cells_list = list(cells)
+            if len(cells_list) != space.dimension:
+                raise ValueError("cells list length must equal space dimension")
+            cells_for = {p.name: c for p, c in zip(space, cells_list)}
+
+        modes = []
+        for j, p in enumerate(space):
+            if p.is_categorical:
+                modes.append(CategoricalMode(p.name, p.n_categories))
+                continue
+            low, high = float(p.low), float(p.high)
+            if X is not None:
+                col = np.asarray(X, dtype=float)[:, j]
+                low, high = float(col.min()), float(col.max())
+                if low == high:  # degenerate column: widen minimally
+                    high = low * (1 + 1e-9) + 1e-12
+            n = int(cells_for[p.name])
+            if p.integer:
+                n = min(n, max(int(np.floor(high) - np.ceil(low)) + 1, 1))
+            n = max(n, 1)
+            if p.resolved_scale == "log":
+                modes.append(LogMode(p.name, low, high, n))
+            else:
+                modes.append(UniformMode(p.name, low, high, n))
+        return cls(modes)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Tensor order ``d`` (number of parameters)."""
+        return len(self.modes)
+
+    @property
+    def shape(self) -> tuple:
+        return tuple(m.n_cells for m in self.modes)
+
+    @property
+    def n_elements(self) -> int:
+        return int(np.prod([m.n_cells for m in self.modes], dtype=np.int64))
+
+    def __repr__(self):
+        return f"TensorGrid(shape={self.shape})"
+
+    # -- mapping configurations to cells --------------------------------------
+
+    def _check(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.ndim != 2 or X.shape[1] != self.order:
+            raise ValueError(f"X must be (n, {self.order}), got {X.shape}")
+        return X
+
+    def cell_indices(self, X: np.ndarray) -> np.ndarray:
+        """Multi-index of the cell containing each configuration row."""
+        X = self._check(X)
+        out = np.empty(X.shape, dtype=np.intp)
+        for j, m in enumerate(self.modes):
+            out[:, j] = m.cell_of(X[:, j])
+        return out
+
+    def in_domain(self, X: np.ndarray) -> np.ndarray:
+        """Per-mode domain mask, shape ``(n, d)`` of bools."""
+        X = self._check(X)
+        out = np.empty(X.shape, dtype=bool)
+        for j, m in enumerate(self.modes):
+            out[:, j] = m.in_domain(X[:, j])
+        return out

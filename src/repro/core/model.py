@@ -1,0 +1,557 @@
+"""``CPRModel`` — the public CP-completion performance model (Section 5).
+
+Two configurations reproduce the paper's two formulations:
+
+* ``loss="log_mse"`` (default) — Section 5.2's interpolation model: the
+  observed cell means are log-transformed and centered, a CP decomposition
+  is fitted with ALS (or CCD/SGD), and predictions exponentiate the CP
+  output before Eq. 5 interpolation.  Positive output is implicit; no
+  constraints are needed.
+* ``loss="mlogq2"`` — Section 5.3's extrapolation model: the MLogQ2 loss is
+  minimized by the interior-point AMN optimizer under strictly positive
+  factors; out-of-domain queries synthesize factor rows from Perron rank-1
+  + MARS spline extrapolators.
+
+Example
+-------
+>>> from repro.apps import MatMul
+>>> from repro.datasets import generate_dataset
+>>> from repro.core import CPRModel
+>>> app = MatMul()
+>>> train = generate_dataset(app, 4096, seed=0)
+>>> model = CPRModel(space=app.space, cells=16, rank=4, seed=0).fit(train.X, train.y)
+>>> test = generate_dataset(app, 512, seed=1)
+>>> err = model.score(test.X, test.y)   # MLogQ
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import ParameterSpace
+from repro.core.completion import OPTIMIZERS, cp_eval, cp_size_bytes
+from repro.core.extrap import ModeExtrapolator
+from repro.core.grid import LogMode, TensorGrid, UniformMode
+from repro.core.interp import interpolate
+from repro.core.tensor import ObservedTensor
+from repro.metrics import METRICS
+from repro.utils.serialization import model_size_bytes
+from repro.utils.validation import check_1d, check_matching_rows, check_positive
+
+__all__ = ["CPRModel", "TuckerModel"]
+
+_LOSSES = ("log_mse", "mlogq2")
+
+
+def _grid_from_data(X: np.ndarray, cells, scales=None) -> TensorGrid:
+    """Build a grid directly from data ranges when no space is given."""
+    n, d = X.shape
+    if isinstance(cells, int):
+        cells = [cells] * d
+    cells = list(cells)
+    if len(cells) != d:
+        raise ValueError("cells list length must equal number of columns")
+    modes = []
+    for j in range(d):
+        col = X[:, j]
+        low, high = float(col.min()), float(col.max())
+        if low == high:
+            high = low + max(abs(low) * 1e-9, 1e-12)
+        scale = None if scales is None else scales[j]
+        if scale is None:
+            scale = "log" if low > 0 else "linear"
+        cls = LogMode if scale == "log" else UniformMode
+        modes.append(cls(f"x{j}", low, high, int(cells[j])))
+    return TensorGrid(modes)
+
+
+class CPRModel:
+    """CP tensor-completion performance model (the paper's CPR).
+
+    Parameters
+    ----------
+    space
+        Optional :class:`~repro.apps.base.ParameterSpace`; supplies
+        per-parameter scales (log/linear) and categorical structure.  When
+        omitted, every column is treated as numerical with log spacing for
+        strictly positive columns.
+    cells
+        Sub-intervals per numerical mode (int, dict by name, or list); the
+        paper sweeps 4..256.
+    rank
+        CP rank ``R`` (paper sweeps 1..64).
+    loss
+        ``"log_mse"`` (interpolation model) or ``"mlogq2"`` (positive
+        extrapolation model).
+    optimizer
+        ``"als"``, ``"ccd"`` or ``"sgd"`` for ``log_mse``; forced to
+        ``"amn"`` for ``mlogq2``.  Default: ``"als"`` / ``"amn"``.
+    regularization
+        Eq. 3's lambda (paper sweeps ``1e-6 .. 1e-3``).
+    max_sweeps, tol
+        Optimizer sweep budget and relative-decrease tolerance.
+    out_of_domain
+        Policy for queries outside the modeling domain: ``"auto"``
+        (extrapolate via Section 5.3 for ``mlogq2``; clamp to the domain
+        boundary for ``log_mse``, whose factors are not positivity-
+        constrained), ``"raise"``, ``"clip"``, or ``"extrapolate"``.
+    seed
+        Seed for factor initialization (and SGD sampling).
+    opt_params
+        Extra keyword arguments forwarded to the optimizer (e.g.
+        ``newton_iters`` for AMN, ``batch_size`` for SGD).
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace | None = None,
+        cells=16,
+        rank: int = 4,
+        loss: str = "log_mse",
+        optimizer: str | None = None,
+        regularization: float = 1e-5,
+        max_sweeps: int = 50,
+        tol: float = 1e-5,
+        out_of_domain: str = "auto",
+        seed=0,
+        scales=None,
+        **opt_params,
+    ):
+        if loss not in _LOSSES:
+            raise ValueError(f"loss must be one of {_LOSSES}, got {loss!r}")
+        if loss == "mlogq2":
+            if optimizer not in (None, "amn"):
+                raise ValueError("loss='mlogq2' requires the 'amn' optimizer")
+            optimizer = "amn"
+        else:
+            optimizer = optimizer or "als"
+            if optimizer == "amn":
+                raise ValueError("optimizer 'amn' requires loss='mlogq2'")
+        if optimizer not in OPTIMIZERS:
+            raise ValueError(f"unknown optimizer {optimizer!r}")
+        if out_of_domain not in ("auto", "raise", "clip", "extrapolate"):
+            raise ValueError(f"bad out_of_domain {out_of_domain!r}")
+        self.space = space
+        self.cells = cells
+        self.rank = int(rank)
+        self.loss = loss
+        self.optimizer = optimizer
+        self.regularization = float(regularization)
+        self.max_sweeps = int(max_sweeps)
+        self.tol = float(tol)
+        self.out_of_domain = out_of_domain
+        self.seed = seed
+        self.scales = scales
+        self.opt_params = opt_params
+
+    # -- fitting --------------------------------------------------------------
+
+    def fit(self, X, y) -> "CPRModel":
+        """Discretize, assemble the observed tensor, and run completion."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[:, None]
+        y = check_positive(check_1d(y, "y"), "y")
+        check_matching_rows(X, y)
+        if self.space is not None:
+            X = self.space.validate(X)
+            self.grid_ = TensorGrid.from_space(self.space, self.cells, X=X)
+        else:
+            self.grid_ = _grid_from_data(X, self.cells, self.scales)
+        tensor = ObservedTensor.from_data(self.grid_, X, y)
+        self.tensor_ = tensor
+
+        if self.loss == "log_mse":
+            logs = tensor.log_values()
+            self.offset_ = float(np.mean(logs))
+            targets = logs - self.offset_
+            # Element clamp for unobserved cells: a CP model is unconstrained
+            # where nothing was observed, and exponentiating a wild log value
+            # overflows.  Interpolated elements are clamped to the observed
+            # log range plus a generous margin (e^8 ~ 3000x headroom).
+            self._log_lo = float(logs.min()) - 8.0
+            self._log_hi = float(logs.max()) + 8.0
+        else:
+            self.offset_ = float(np.mean(np.log(tensor.values)))
+            targets = tensor.values / np.exp(self.offset_)
+
+        self._run_completion(tensor, targets, warm_start=False)
+        self._impute_unobserved_rows()
+        self._extrapolators: dict[int, ModeExtrapolator] = {}
+        return self
+
+    def _run_completion(self, tensor, targets, warm_start: bool) -> None:
+        """Optimize the decomposition; subclasses swap the model family."""
+        fn = OPTIMIZERS[self.optimizer]
+        kwargs = dict(self.opt_params)
+        if warm_start:
+            kwargs["factors"] = self.factors_
+        self.result_ = fn(
+            self.grid_.shape,
+            tensor.indices,
+            targets,
+            rank=self.rank,
+            regularization=self.regularization,
+            max_sweeps=self.max_sweeps,
+            tol=self.tol,
+            seed=self.seed,
+            **kwargs,
+        )
+        self.factors_ = self.result_.factors
+
+    def _factor_list(self) -> list:
+        """Per-mode factor matrices (hook for non-CP decompositions)."""
+        return self.factors_
+
+    def _model_value(self, indices: np.ndarray) -> np.ndarray:
+        """Raw decomposition values at multi-indices."""
+        return cp_eval(self.factors_, indices)
+
+    # -- streaming updates (paper Section 8's online setting) -----------------
+
+    def partial_fit(self, X, y, max_sweeps: int | None = None) -> "CPRModel":
+        """Fold new measurements into the model without refitting from scratch.
+
+        The paper's conclusion highlights "efficiently updating CP
+        decompositions to model streaming data in online settings" as an
+        open direction; this implements the natural baseline: merge the new
+        observations into the per-cell running means (counts-weighted) and
+        warm-start a few optimizer sweeps from the current factors.
+
+        The grid is fixed at the first ``fit``; configurations outside the
+        original modeling domain are clipped into its edge cells.
+        """
+        self._require_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[:, None]
+        y = check_positive(check_1d(y, "y"), "y")
+        check_matching_rows(X, y)
+        if self.space is not None:
+            X = self.space.validate(X)
+        new = ObservedTensor.from_data(self.grid_, X, y)
+        self.tensor_ = self.tensor_.merge(new)
+
+        if self.loss == "log_mse":
+            targets = self.tensor_.log_values() - self.offset_
+        else:
+            targets = self.tensor_.values / np.exp(self.offset_)
+        sweeps = max_sweeps if max_sweeps is not None else max(self.max_sweeps // 5, 2)
+        saved = self.max_sweeps
+        try:
+            self.max_sweeps = sweeps
+            self._run_completion(self.tensor_, targets, warm_start=True)
+        finally:
+            self.max_sweeps = saved
+        self._impute_unobserved_rows()
+        self._extrapolators = {}
+        return self
+
+    def _impute_unobserved_rows(self) -> None:
+        """Fill factor rows that no observation touched.
+
+        Completion leaves a row of ``U_j`` at its initialization when no
+        observed cell has that mode index (common when measured parameter
+        values cluster — e.g. power-of-two node counts on a finer grid).
+        Eq. 5 would then blend garbage neighbours into predictions.  Each
+        missing row is interpolated column-wise from the nearest observed
+        rows along the mode's transformed coordinate (log-factor space for
+        the positive model, whose factors are multiplicative), with
+        constant extension at the ends; categorical modes use the mean of
+        the observed rows.
+        """
+        for j, U in enumerate(self._factor_list()):
+            obs = np.unique(self.tensor_.indices[:, j])
+            if len(obs) == U.shape[0]:
+                continue
+            missing = np.setdiff1d(np.arange(U.shape[0]), obs)
+            mode = self.grid_.modes[j]
+            positive = self.loss == "mlogq2"
+            if not mode.interpolates:
+                row = (
+                    np.exp(np.mean(np.log(np.maximum(U[obs], 1e-300)), axis=0))
+                    if positive
+                    else U[obs].mean(axis=0)
+                )
+                U[missing] = row
+                continue
+            h = mode.midpoints_h
+            src = np.log(np.maximum(U[obs], 1e-300)) if positive else U[obs]
+            for c in range(U.shape[1]):
+                filled = np.interp(h[missing], h[obs], src[:, c])
+                U[missing, c] = np.exp(filled) if positive else filled
+
+    def _require_fitted(self):
+        if not hasattr(self, "factors_"):
+            raise RuntimeError("model is not fitted; call fit(X, y) first")
+
+    # -- element estimation ----------------------------------------------------
+
+    def _element(self, indices: np.ndarray) -> np.ndarray:
+        """Estimated tensor elements (execution-time units) at multi-indices."""
+        val = self._model_value(indices)
+        if self.loss == "log_mse":
+            return np.exp(np.clip(self.offset_ + val, self._log_lo, self._log_hi))
+        return np.exp(self.offset_) * val
+
+    def _log_element(self, indices: np.ndarray) -> np.ndarray:
+        """Log-space element estimates, clamped (the log_mse blend input).
+
+        The paper's Section 5.2 display blends exponentiated elements
+        ``e^that``; we blend in log space and exponentiate the blend, i.e.
+        a geometric rather than arithmetic corner mean.  The two coincide
+        as corner values agree, but the geometric blend bounds the damage
+        of a wildly mispredicted *unobserved* corner cell to its weight
+        share — in sparse high-dimensional tensors this is the difference
+        between a usable and a broken interpolant (see DESIGN.md).
+        """
+        val = self._model_value(indices)
+        return np.clip(self.offset_ + val, self._log_lo, self._log_hi)
+
+    def _extrapolator(self, j: int) -> ModeExtrapolator:
+        if self.loss != "mlogq2":
+            raise ValueError(
+                "out-of-domain extrapolation requires loss='mlogq2' "
+                "(strictly positive factor matrices, Section 5.3)"
+            )
+        if j not in self._extrapolators:
+            mode = self.grid_.modes[j]
+            if not mode.interpolates:
+                raise ValueError(
+                    f"cannot extrapolate categorical mode {mode.name!r}"
+                )
+            observed = np.zeros(mode.n_cells, dtype=bool)
+            observed[np.unique(self.tensor_.indices[:, j])] = True
+            self._extrapolators[j] = ModeExtrapolator.fit(
+                mode, self._factor_list()[j], observed=observed
+            )
+        return self._extrapolators[j]
+
+    # -- prediction -------------------------------------------------------------
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted execution times for configurations ``X``."""
+        self._require_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[:, None]
+        if X.shape[1] != self.grid_.order:
+            raise ValueError(
+                f"X must have {self.grid_.order} columns, got {X.shape[1]}"
+            )
+        policy = self.out_of_domain
+        if policy == "auto":
+            policy = "extrapolate" if self.loss == "mlogq2" else "clip"
+
+        in_dom = self.grid_.in_domain(X)
+        fully_in = in_dom.all(axis=1)
+        if not fully_in.all():
+            if policy == "raise":
+                bad = np.flatnonzero(~fully_in)[:5]
+                raise ValueError(
+                    f"{int((~fully_in).sum())} configuration(s) outside the "
+                    f"modeling domain (rows {bad.tolist()}...); use "
+                    "loss='mlogq2' with out_of_domain='extrapolate', or 'clip'"
+                )
+            if policy == "clip":
+                X = X.copy()
+                for j, m in enumerate(self.grid_.modes):
+                    if not m.interpolates:
+                        continue  # bad categorical indices always raise
+                    X[:, j] = np.clip(X[:, j], m.edges[0], m.edges[-1])
+                in_dom = self.grid_.in_domain(X)
+                fully_in = in_dom.all(axis=1)
+
+        # Both model flavours blend *log* elements (a geometric corner
+        # mean): it is robust to unobserved-cell garbage for the log_mse
+        # model, and keeps fringe linear-extrapolation positive for the
+        # mlogq2 model (linear-space extrapolation of a steep positive
+        # slope — e.g. the 1-node -> 2-node broadcast jump — goes negative).
+        out = np.empty(len(X))
+        if fully_in.any():
+            rows = np.flatnonzero(fully_in)
+            if self.loss == "log_mse":
+                out[rows] = np.exp(interpolate(self.grid_, self._log_element, X[rows]))
+            else:
+                log_elem = lambda idx: np.log(np.maximum(self._element(idx), 1e-300))
+                out[rows] = np.exp(interpolate(self.grid_, log_elem, X[rows]))
+        if not fully_in.all():
+            self._predict_extrapolated(X, in_dom, ~fully_in, out)
+        # Signed fringe weights can produce non-positive blends; clamp to a
+        # tiny positive time as the paper does before MLogQ evaluation.
+        return np.maximum(out, 1e-16)
+
+    def _predict_extrapolated(self, X, in_dom, rows_mask, out) -> None:
+        """Handle rows with at least one out-of-domain numerical mode."""
+        rows = np.flatnonzero(rows_mask)
+        patterns: dict[tuple, list] = {}
+        for r in rows:
+            key = tuple(np.flatnonzero(~in_dom[r]))
+            patterns.setdefault(key, []).append(r)
+        scale = np.exp(self.offset_)
+        d = self.grid_.order
+        for key, rlist in patterns.items():
+            ridx = np.asarray(rlist, dtype=np.intp)
+            Xg = X[ridx]
+            ext_rows = {j: self._extrapolator(j).factor_rows(Xg[:, j]) for j in key}
+            outside = set(key)
+
+            def corner_eval(idx, _ext=ext_rows, _outside=outside):
+                prod = None
+                for j in range(d):
+                    f = _ext[j] if j in _outside else self.factors_[j][idx[:, j]]
+                    prod = f.copy() if prod is None else prod * f
+                val = scale * prod.sum(axis=1)
+                return np.log(np.maximum(val, 1e-300))
+
+            active = np.array(
+                [
+                    m.interpolates and m.n_cells > 1 and (j not in outside)
+                    for j, m in enumerate(self.grid_.modes)
+                ]
+            )
+            out[ridx] = np.exp(
+                interpolate(self.grid_, corner_eval, Xg, active=active)
+            )
+
+    # -- assessment ---------------------------------------------------------------
+
+    def score(self, X, y, metric: str = "mlogq") -> float:
+        """Prediction error of the model on ``(X, y)`` under ``metric``."""
+        fn = METRICS[metric]
+        return fn(self.predict(X), np.asarray(y, dtype=float))
+
+    # -- size accounting -------------------------------------------------------------
+
+    @property
+    def n_parameters(self) -> int:
+        """Number of model coefficients ``R * sum_j I_j``."""
+        self._require_fitted()
+        return sum(U.size for U in self.factors_)
+
+    @property
+    def factor_bytes(self) -> int:
+        """Raw factor storage (paper's linear-in-order model size)."""
+        self._require_fitted()
+        return cp_size_bytes(self.factors_)
+
+    def __getstate_for_size__(self):
+        """Minimal prediction state measured by the model-size experiments."""
+        self._require_fitted()
+        grid_state = [
+            (type(m).__name__, m.name, np.asarray(m.midpoints), m.n_cells)
+            for m in self.grid_.modes
+        ]
+        return {
+            "factors": self.factors_,
+            "grid": grid_state,
+            "offset": self.offset_,
+            "loss": self.loss,
+        }
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized model size (the paper's Figure 7 measurement)."""
+        return model_size_bytes(self)
+
+    def __repr__(self):
+        fitted = hasattr(self, "factors_")
+        extra = f", shape={self.grid_.shape}" if fitted else ""
+        return (
+            f"CPRModel(rank={self.rank}, loss={self.loss!r}, "
+            f"optimizer={self.optimizer!r}{extra})"
+        )
+
+
+class TuckerModel(CPRModel):
+    """Tucker-decomposition variant of the grid model (paper future work).
+
+    Same discretization, log transform, and Eq. 5 interpolation as
+    :class:`CPRModel`, with the CP decomposition replaced by a Tucker model
+    (core tensor + per-mode factors) fitted by alternating ridge least
+    squares.  ``rank`` may be an int (same per mode) or a per-mode tuple.
+
+    Tucker's core grows as ``prod_j R_j``, so it is only practical for
+    low/moderate tensor orders — the ablation benchmark quantifies exactly
+    the size blow-up the paper avoids by choosing CP.  Extrapolation
+    (Section 5.3) is CP-specific and unavailable here.
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace | None = None,
+        cells=16,
+        rank=4,
+        regularization: float = 1e-5,
+        max_sweeps: int = 50,
+        tol: float = 1e-5,
+        out_of_domain: str = "auto",
+        seed=0,
+        scales=None,
+        **opt_params,
+    ):
+        super().__init__(
+            space=space,
+            cells=cells,
+            rank=1,  # placeholder; Tucker ranks are handled below
+            loss="log_mse",
+            optimizer="als",
+            regularization=regularization,
+            max_sweeps=max_sweeps,
+            tol=tol,
+            out_of_domain=out_of_domain,
+            seed=seed,
+            scales=scales,
+            **opt_params,
+        )
+        self.tucker_rank = rank
+
+    def _run_completion(self, tensor, targets, warm_start: bool) -> None:
+        from repro.core.completion.tucker import complete_tucker
+
+        # Warm starts re-run from the current state is not supported by the
+        # Tucker solver; it refits (still cheap at these core sizes).
+        self.result_ = complete_tucker(
+            self.grid_.shape,
+            tensor.indices,
+            targets,
+            rank=self.tucker_rank,
+            regularization=self.regularization,
+            max_sweeps=self.max_sweeps,
+            tol=self.tol,
+            seed=self.seed,
+            **self.opt_params,
+        )
+        self.tucker_ = self.result_.factors[0]
+        self.factors_ = self.tucker_.factors  # for shared bookkeeping
+
+    def _factor_list(self) -> list:
+        return self.tucker_.factors
+
+    def _model_value(self, indices: np.ndarray) -> np.ndarray:
+        return self.tucker_.eval_at(indices)
+
+    def _extrapolator(self, j: int):
+        raise ValueError(
+            "Section 5.3 extrapolation is specific to positive CP "
+            "decompositions; TuckerModel supports interpolation only"
+        )
+
+    @property
+    def n_parameters(self) -> int:
+        self._require_fitted()
+        return self.tucker_.core.size + sum(U.size for U in self.tucker_.factors)
+
+    @property
+    def factor_bytes(self) -> int:
+        self._require_fitted()
+        return self.tucker_.size_bytes()
+
+    def __getstate_for_size__(self):
+        state = super().__getstate_for_size__()
+        state["core"] = self.tucker_.core
+        return state
+
+    def __repr__(self):
+        fitted = hasattr(self, "tucker_")
+        extra = f", shape={self.grid_.shape}" if fitted else ""
+        return f"TuckerModel(rank={self.tucker_rank}{extra})"

@@ -1,0 +1,121 @@
+"""Observed-tensor assembly (paper Section 5.1).
+
+Given a :class:`~repro.core.grid.TensorGrid` and a training set, each tensor
+element stores the *mean* execution time of the configurations mapped into
+its cell.  Only cells containing at least one observation are "observed";
+their multi-indices form the index set Ω of the completion problem.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.grid import TensorGrid
+from repro.utils.validation import check_1d, check_positive
+
+__all__ = ["ObservedTensor"]
+
+
+@dataclass(frozen=True)
+class ObservedTensor:
+    """A partially observed tensor of per-cell mean execution times.
+
+    Attributes
+    ----------
+    grid
+        The discretization that defines cell membership.
+    indices
+        Observed multi-indices, shape ``(nnz, d)`` (the set Ω).
+    values
+        Per-cell mean execution times, shape ``(nnz,)``, strictly positive.
+    counts
+        Number of training observations averaged into each cell.
+    """
+
+    grid: TensorGrid
+    indices: np.ndarray
+    values: np.ndarray
+    counts: np.ndarray
+
+    @classmethod
+    def from_data(cls, grid: TensorGrid, X: np.ndarray, y: np.ndarray) -> "ObservedTensor":
+        """Bin configurations into cells and average execution times.
+
+        Vectorized: raveled multi-indices are deduplicated with
+        :func:`numpy.unique` and per-cell sums accumulated with
+        :func:`numpy.bincount`.
+        """
+        y = check_positive(check_1d(y, "y"), "y")
+        idx = grid.cell_indices(X)
+        if len(idx) != len(y):
+            raise ValueError(f"X has {len(idx)} rows but y has {len(y)}")
+        if len(y) == 0:
+            raise ValueError("cannot build an observed tensor from zero samples")
+        flat = np.ravel_multi_index(idx.T, grid.shape)
+        uniq, inverse = np.unique(flat, return_inverse=True)
+        sums = np.bincount(inverse, weights=y, minlength=len(uniq))
+        counts = np.bincount(inverse, minlength=len(uniq))
+        means = sums / counts
+        indices = np.stack(np.unravel_index(uniq, grid.shape), axis=1).astype(np.intp)
+        return cls(grid=grid, indices=indices, values=means, counts=counts)
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of observed cells ``|Ω|``."""
+        return len(self.values)
+
+    @property
+    def density(self) -> float:
+        """Fraction of tensor elements observed (Figure 5's x-axis note)."""
+        return self.nnz / self.grid.n_elements
+
+    @property
+    def shape(self) -> tuple:
+        return self.grid.shape
+
+    def log_values(self) -> np.ndarray:
+        """Log-transformed cell means (the ALS model's training targets)."""
+        return np.log(self.values)
+
+    def merge(self, other: "ObservedTensor") -> "ObservedTensor":
+        """Combine two observed tensors over the same grid (streaming path).
+
+        Cell means are merged counts-weighted, so the result is identical
+        to having binned the union of the underlying measurements.
+        """
+        if other.grid is not self.grid and other.grid.shape != self.grid.shape:
+            raise ValueError("cannot merge tensors over different grids")
+        flat_a = np.ravel_multi_index(self.indices.T, self.shape)
+        flat_b = np.ravel_multi_index(other.indices.T, other.shape)
+        flat = np.concatenate([flat_a, flat_b])
+        sums = np.concatenate(
+            [self.values * self.counts, other.values * other.counts]
+        )
+        counts = np.concatenate([self.counts, other.counts])
+        uniq, inverse = np.unique(flat, return_inverse=True)
+        merged_sums = np.bincount(inverse, weights=sums, minlength=len(uniq))
+        merged_counts = np.bincount(inverse, weights=counts, minlength=len(uniq))
+        indices = np.stack(np.unravel_index(uniq, self.shape), axis=1).astype(np.intp)
+        return ObservedTensor(
+            grid=self.grid,
+            indices=indices,
+            values=merged_sums / merged_counts,
+            counts=merged_counts,
+        )
+
+    def dense(self, fill=np.nan) -> np.ndarray:
+        """Materialize the full tensor with ``fill`` in unobserved cells.
+
+        Intended for tests and small grids; raises when the tensor exceeds
+        ~64M elements to avoid accidental memory blow-ups.
+        """
+        if self.grid.n_elements > 64 * 1024 * 1024:
+            raise MemoryError(
+                f"refusing to materialize {self.grid.n_elements} elements"
+            )
+        out = np.full(self.shape, fill, dtype=float)
+        out[tuple(self.indices.T)] = self.values
+        return out

@@ -1,0 +1,16 @@
+"""Dataset generation: sampling, splits, and the paper's extrapolation cuts."""
+from repro.datasets.sampling import Dataset, generate_dataset, subsample
+from repro.datasets.splits import (
+    extrapolation_split,
+    threshold_mask,
+    PAPER_TEST_SIZES,
+)
+
+__all__ = [
+    "Dataset",
+    "generate_dataset",
+    "subsample",
+    "extrapolation_split",
+    "threshold_mask",
+    "PAPER_TEST_SIZES",
+]

@@ -1,0 +1,72 @@
+"""Training/test dataset generation per paper Section 6.0.3.
+
+Configurations are drawn by the per-role sampling strategy implemented in
+:class:`repro.apps.base.Parameter` (log-uniform for input/architectural
+parameters, uniform for configuration parameters, uniform over choices for
+categorical ones).  Execution times come from the application simulator's
+``measure``.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.utils.rng import as_generator
+
+__all__ = ["Dataset", "generate_dataset", "subsample"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable (configurations, execution times) pair.
+
+    ``X`` has one column per parameter of ``space`` (categorical columns hold
+    category indices); ``y`` holds strictly positive times in seconds.
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    name: str = ""
+
+    def __post_init__(self):
+        if len(self.X) != len(self.y):
+            raise ValueError("X and y length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.y)
+
+    def select(self, mask_or_idx) -> "Dataset":
+        """Dataset restricted to a boolean mask or index array."""
+        return Dataset(self.X[mask_or_idx], self.y[mask_or_idx], self.name)
+
+
+def generate_dataset(
+    app: Application,
+    n: int,
+    seed=None,
+    sigma: float | None = None,
+) -> Dataset:
+    """Sample ``n`` configurations of ``app`` and measure each once.
+
+    Deterministic for a fixed ``seed``: sampling and measurement noise each
+    use sub-streams spawned from it.
+    """
+    rng = as_generator(seed)
+    X = app.space.sample(n, rng)
+    y = app.measure(X, rng=rng, sigma=sigma)
+    return Dataset(X, y, name=app.name)
+
+
+def subsample(ds: Dataset, n: int, seed=None) -> Dataset:
+    """A uniform random subset of ``n`` rows (without replacement).
+
+    Used by the harness to reuse one large generated dataset across the
+    paper's training-set-size sweeps.
+    """
+    if n > len(ds):
+        raise ValueError(f"cannot take {n} of {len(ds)} rows")
+    rng = as_generator(seed)
+    idx = rng.choice(len(ds), size=n, replace=False)
+    return ds.select(idx)

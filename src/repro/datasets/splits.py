@@ -1,0 +1,87 @@
+"""Interpolation/extrapolation dataset splits (paper Sections 6.0.3, 7.2).
+
+The extrapolation experiments cut one large sampled dataset by parameter
+magnitude: training keeps configurations whose selected parameters are below
+a cutoff ``N``; the test set keeps configurations whose selected parameters
+lie in the large-scale target window.  Figure 8's four panels correspond to
+
+* MM, single parameter: test ``2048 <= m <= 4096``, train ``m < N``;
+* MM, all parameters: test ``2048 <= m,n,k <= 4096``, train ``m,n,k < N``;
+* BC, node count: test ``nodes == 128``, train ``nodes <= N``;
+* BC, message size: test ``2^25 <= msg <= 2^26``, train ``msg < N``.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import ParameterSpace
+from repro.datasets.sampling import Dataset
+
+__all__ = ["threshold_mask", "extrapolation_split", "PAPER_TEST_SIZES"]
+
+#: Test-set sizes the paper reports per benchmark (Section 6.0.3).
+PAPER_TEST_SIZES = {
+    "matmul": 1000,
+    "qr": 1000,
+    "bcast": 10484,
+    "exafmm": 2512,
+    "amg": 21534,
+    "kripke": 8745,
+}
+
+
+def threshold_mask(
+    space: ParameterSpace,
+    X: np.ndarray,
+    bounds: dict[str, tuple[float, float]],
+) -> np.ndarray:
+    """Row mask where every named parameter lies in ``[lo, hi]`` (inclusive)."""
+    X = np.asarray(X, dtype=float)
+    mask = np.ones(len(X), dtype=bool)
+    for name, (lo, hi) in bounds.items():
+        col = space.column(X, name)
+        mask &= (col >= lo) & (col <= hi)
+    return mask
+
+
+@dataclass(frozen=True)
+class ExtrapolationSplit:
+    """A train/test pair where the test set exceeds the training ranges."""
+
+    train: Dataset
+    test: Dataset
+    cutoff: float
+
+
+def extrapolation_split(
+    space: ParameterSpace,
+    ds: Dataset,
+    params: list[str],
+    cutoff: float,
+    test_bounds: dict[str, tuple[float, float]],
+) -> ExtrapolationSplit:
+    """Split ``ds`` into small-scale training and large-scale test sets.
+
+    Parameters
+    ----------
+    params
+        Parameters whose magnitude defines "scale"; training rows must have
+        all of them strictly below ``cutoff``.
+    cutoff
+        Training upper bound ``N`` from the paper (swept geometrically).
+    test_bounds
+        Per-parameter inclusive windows defining the test population.
+    """
+    train_mask = np.ones(len(ds), dtype=bool)
+    for name in params:
+        train_mask &= space.column(ds.X, name) < cutoff
+    test_mask = threshold_mask(space, ds.X, test_bounds)
+    if not train_mask.any():
+        raise ValueError(f"empty training set for cutoff {cutoff}")
+    if not test_mask.any():
+        raise ValueError("empty extrapolation test set")
+    return ExtrapolationSplit(
+        train=ds.select(train_mask), test=ds.select(test_mask), cutoff=cutoff
+    )

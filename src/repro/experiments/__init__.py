@@ -1,0 +1,28 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each ``figureN`` module exposes ``run(scale=..., seed=...) -> dict`` with
+``headers`` and ``rows`` mirroring the series the paper plots; the
+``benchmarks/`` tree calls these and prints/saves the tables.  ``scale``
+selects problem sizes: ``"smoke"`` (seconds-scale, default for CI),
+``"full"`` (minutes), ``"paper"`` (the paper's training sizes).
+"""
+from repro.experiments.config import SCALES, resolve_scale, tuning_grid
+from repro.experiments.registry import make_model, MODEL_NAMES
+from repro.experiments.harness import (
+    get_dataset,
+    tune_model,
+    evaluate_model,
+    interpolation_experiment,
+)
+
+__all__ = [
+    "SCALES",
+    "resolve_scale",
+    "tuning_grid",
+    "make_model",
+    "MODEL_NAMES",
+    "get_dataset",
+    "tune_model",
+    "evaluate_model",
+    "interpolation_experiment",
+]

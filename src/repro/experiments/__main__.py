@@ -1,0 +1,83 @@
+"""Command-line experiment runner.
+
+Run any table/figure reproduction without pytest::
+
+    python -m repro.experiments figure1 --scale smoke
+    python -m repro.experiments figure6 --scale full --seed 1 --out results/
+    python -m repro.experiments all --scale smoke
+
+Scales: smoke (seconds-to-minutes), full, paper (the paper's sizes).
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    ablation_tucker,
+    ablations,
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table1,
+)
+from repro.experiments.config import SCALES
+from repro.utils import format_table
+
+DRIVERS = {
+    "table1": table1.run,
+    "figure1": figure1.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "ablation-loss": ablations.run_loss,
+    "ablation-spacing": ablations.run_spacing,
+    "ablation-optimizer": ablations.run_optimizer,
+    "ablation-tucker": ablation_tucker.run,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*DRIVERS, "all"],
+        help="which table/figure to regenerate ('all' runs every driver)",
+    )
+    parser.add_argument("--scale", choices=SCALES, default=None,
+                        help="problem scale (default: $REPRO_BENCH_SCALE or smoke)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory to archive result tables into")
+    args = parser.parse_args(argv)
+
+    names = list(DRIVERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.perf_counter()
+        result = DRIVERS[name](scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - t0
+        table = format_table(result["headers"], result["rows"])
+        print(f"\n== {name} ({elapsed:.1f}s) ==")
+        print(table)
+        if result.get("notes"):
+            print(f"(expected shape: {result['notes']})")
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(table + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,189 @@
+"""Hyper-parameter grids (paper Section 6.0.4) and scale presets.
+
+The paper exhaustively explores each model's hyper-parameters on a fixed
+training set and reports the minimum test error.  The ``paper`` grids below
+transcribe Section 6.0.4; ``smoke``/``full`` are subsampled versions so the
+full benchmark suite completes on a laptop in seconds/minutes.  Select with
+the ``REPRO_BENCH_SCALE`` environment variable or an explicit argument.
+"""
+from __future__ import annotations
+
+import os
+
+__all__ = ["SCALES", "resolve_scale", "tuning_grid", "bench_apps", "train_sizes"]
+
+SCALES = ("smoke", "full", "paper")
+
+
+def resolve_scale(scale: str | None = None) -> str:
+    """Pick the experiment scale: explicit arg > env var > ``smoke``."""
+    s = scale or os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    if s not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {s!r}")
+    return s
+
+
+def bench_apps(scale: str) -> list[str]:
+    """Benchmarks included in the multi-model figures at this scale.
+
+    The smoke set keeps one low-dimensional kernel (matmul), one
+    communication kernel (bcast), and both flavours of high-dimensional
+    application (exafmm: numeric-only; amg: categorical-heavy, where the
+    paper's CPR advantage is largest).
+    """
+    if scale == "smoke":
+        return ["matmul", "bcast", "exafmm", "amg"]
+    return ["matmul", "qr", "bcast", "exafmm", "amg", "kripke"]
+
+
+def train_sizes(scale: str) -> list[int]:
+    """Training-set sizes for the accuracy-vs-size sweeps (Figures 5/6)."""
+    return {
+        "smoke": [2**9, 2**10, 2**11],
+        "full": [2**10, 2**11, 2**12, 2**13],
+        "paper": [2**10, 2**11, 2**12, 2**13, 2**14, 2**15, 2**16],
+    }[scale]
+
+
+# --- per-model tuning grids --------------------------------------------------
+
+def _grid_cpr(scale):
+    if scale == "smoke":
+        return [
+            {"cells": c, "rank": r, "regularization": 1e-5}
+            for c in (8, 16)
+            for r in (2, 4, 8)
+        ]
+    if scale == "full":
+        return [
+            {"cells": c, "rank": r, "regularization": lam}
+            for c in (4, 8, 16, 32)
+            for r in (2, 4, 8, 16)
+            for lam in (1e-5, 1e-4)
+        ]
+    return [
+        {"cells": c, "rank": r, "regularization": lam}
+        for c in (4, 8, 16, 32, 64, 128, 256)
+        for r in (1, 2, 4, 8, 16, 32, 64)
+        for lam in (1e-6, 1e-5, 1e-4, 1e-3)
+    ]
+
+
+def _grid_sgr(scale):
+    if scale == "smoke":
+        return [
+            {"level": lv, "refinements": rf, "refine_points": 8}
+            for lv in (2, 3)
+            for rf in (0, 2)
+        ]
+    if scale == "full":
+        return [
+            {"level": lv, "refinements": rf, "refine_points": rp,
+             "regularization": lam}
+            for lv in (2, 3, 4)
+            for rf in (0, 4)
+            for rp in (8, 16)
+            for lam in (1e-5, 1e-3)
+        ]
+    return [
+        {"level": lv, "refinements": rf, "refine_points": rp,
+         "regularization": lam}
+        for lv in (2, 3, 4, 5, 6, 7, 8)
+        for rf in (1, 2, 4, 8, 16)
+        for rp in (4, 8, 16, 32)
+        for lam in (1e-6, 1e-5, 1e-4, 1e-3)
+    ]
+
+
+def _grid_mars(scale):
+    degrees = {"smoke": (1, 2), "full": (1, 2, 3), "paper": (1, 2, 3, 4, 5, 6)}[scale]
+    return [{"max_degree": d} for d in degrees]
+
+
+def _grid_trees(scale):
+    if scale == "smoke":
+        return [
+            {"n_estimators": t, "max_depth": d}
+            for t in (8, 32)
+            for d in (6, 12)
+        ]
+    if scale == "full":
+        return [
+            {"n_estimators": t, "max_depth": d}
+            for t in (4, 16, 64)
+            for d in (4, 8, 16)
+        ]
+    return [
+        {"n_estimators": t, "max_depth": d}
+        for t in (1, 4, 16, 64)
+        for d in (2, 4, 8, 16)
+    ]
+
+
+def _grid_knn(scale):
+    ks = {"smoke": (1, 3, 5), "full": (1, 2, 3, 4, 5, 6),
+          "paper": (1, 2, 3, 4, 5, 6)}[scale]
+    return [{"k": k} for k in ks]
+
+
+def _grid_gp(scale):
+    kernels = {
+        "smoke": ("rbf", "matern"),
+        "full": ("rbf", "matern", "rational_quadratic"),
+        "paper": ("rbf", "matern", "rational_quadratic", "dot_product_white",
+                  "constant"),
+    }[scale]
+    return [{"kernel": k} for k in kernels]
+
+
+def _grid_svm(scale):
+    if scale == "smoke":
+        return [{"kernel": "rbf"}]
+    grids = [{"kernel": "rbf"}]
+    degrees = (1, 2, 3)
+    grids += [{"kernel": "poly", "degree": d} for d in degrees]
+    return grids
+
+
+def _grid_mlp(scale):
+    if scale == "smoke":
+        return [
+            {"hidden": (64,), "activation": "relu", "max_epochs": 60},
+            {"hidden": (64, 64), "activation": "relu", "max_epochs": 60},
+        ]
+    if scale == "full":
+        return [
+            {"hidden": h, "activation": a, "max_epochs": 150}
+            for h in ((32,), (128,), (64, 64), (128, 128, 128))
+            for a in ("relu", "tanh")
+        ]
+    return [
+        {"hidden": (w,) * depth, "activation": a, "max_epochs": 300}
+        for depth in (1, 2, 4, 8)
+        for w in (8, 32, 128, 512, 2048)
+        for a in ("relu", "tanh")
+    ]
+
+
+_GRIDS = {
+    "cpr": _grid_cpr,
+    "sgr": _grid_sgr,
+    "mars": _grid_mars,
+    "rf": _grid_trees,
+    "et": _grid_trees,
+    "gb": _grid_trees,
+    "knn": _grid_knn,
+    "gp": _grid_gp,
+    "svm": _grid_svm,
+    "nn": _grid_mlp,
+}
+
+
+def tuning_grid(model: str, scale: str | None = None) -> list[dict]:
+    """Hyper-parameter grid for ``model`` at the given scale."""
+    scale = resolve_scale(scale)
+    try:
+        fn = _GRIDS[model]
+    except KeyError:
+        raise KeyError(f"unknown model {model!r}; options: {sorted(_GRIDS)}") from None
+    return fn(scale)

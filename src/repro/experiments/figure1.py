@@ -1,0 +1,81 @@
+"""Figure 1: SVD rank sweeps of discretized 2-D functions, raw vs log.
+
+The paper's Figure 1 takes three functions on ``1 <= x, y <= 100``:
+a smooth multiplicative one, a piecewise one whose two behaviours are split
+along ``x + y <= 100`` (both perturbed element-wise by ``1 + N(0, 0.01)``),
+and a clean additive one.  It shows that truncated SVDs of the
+*log-transformed* matrices achieve monotonically decreasing MLogQ
+prediction error with increasing rank, whereas raw-matrix SVDs can
+stagnate or worsen — the observation motivating Section 5.2's
+log-transform-then-factorize design.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import mlogq
+from repro.utils.rng import as_generator
+
+__all__ = ["FUNCTIONS", "svd_mlogq_curve", "run"]
+
+
+def _f1(x, y):
+    """Smooth multiplicative scaling: near rank-1 in log space."""
+    return x**1.5 * y / 50.0
+
+
+def _f2(x, y):
+    """Two regimes split along x + y <= 100 (the paper's piecewise case)."""
+    return np.where(x + y <= 100.0, x * y / 100.0, 5.0 * x**2 / (y + 1.0))
+
+
+def _f3(x, y):
+    """Additive function: exactly rank-2 raw, full-rank in log space."""
+    return x + y
+
+
+FUNCTIONS = {"f1": _f1, "f2": _f2, "f3": _f3}
+_NOISY = {"f1", "f2"}  # the paper perturbs f1 and f2 only
+
+
+def build_matrix(name: str, n: int = 100, seed: int = 0) -> np.ndarray:
+    """The discretized (and optionally noise-perturbed) function matrix."""
+    rng = as_generator(seed)
+    grid = np.arange(1.0, n + 1.0)
+    x, y = np.meshgrid(grid, grid, indexing="ij")
+    M = FUNCTIONS[name](x, y)
+    if name in _NOISY:
+        M = M * (1.0 + rng.normal(0.0, 0.01, size=M.shape))
+    return np.maximum(M, 1e-16)
+
+
+def svd_mlogq_curve(M: np.ndarray, ranks, log_transform: bool) -> list[float]:
+    """MLogQ of rank-``r`` SVD reconstructions against the true matrix."""
+    target = np.log(M) if log_transform else M
+    U, s, Vt = np.linalg.svd(target, full_matrices=False)
+    errs = []
+    for r in ranks:
+        recon = (U[:, :r] * s[:r]) @ Vt[:r]
+        pred = np.exp(recon) if log_transform else np.maximum(recon, 1e-16)
+        errs.append(mlogq(pred.ravel(), M.ravel()))
+    return errs
+
+
+def run(scale: str | None = None, seed: int = 0) -> dict:
+    """Reproduce Figure 1's series: per function, MLogQ vs SVD rank."""
+    ranks = [1, 2, 4, 8, 16, 32]
+    rows = []
+    for name in FUNCTIONS:
+        M = build_matrix(name, seed=seed)
+        raw = svd_mlogq_curve(M, ranks, log_transform=False)
+        log = svd_mlogq_curve(M, ranks, log_transform=True)
+        for r, er, el in zip(ranks, raw, log):
+            rows.append((name, r, er, el))
+    return {
+        "headers": ["function", "rank", "mlogq_raw", "mlogq_log"],
+        "rows": rows,
+        "notes": (
+            "log-transformed SVD errors must decrease monotonically in rank "
+            "(paper Figure 1); raw-matrix errors may stagnate or increase"
+        ),
+    }

@@ -1,0 +1,111 @@
+"""Model registry: build any of the paper's ten models by name.
+
+Baselines are wrapped in a :class:`BaselinePipeline` that applies the
+paper's preprocessing (log-transformed parameters, one-hot categoricals,
+standardization — Section 6.0.4) and trains in log-target space.  CPR takes
+the raw configuration matrix: discretization *is* its preprocessing.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import ParameterSpace
+from repro.baselines import (
+    ExtraTreesRegressor,
+    FeatureMap,
+    GaussianProcessRegressor,
+    GradientBoostingRegressor,
+    KNNRegressor,
+    LogSpaceRegressor,
+    MARSRegressor,
+    MLPRegressor,
+    RandomForestRegressor,
+    SparseGridRegressor,
+    SVMRegressor,
+)
+from repro.baselines.base import Regressor
+from repro.core import CPRModel
+
+__all__ = ["MODEL_NAMES", "make_model", "BaselinePipeline"]
+
+#: Paper abbreviations -> human names (Section 6.0.4).
+MODEL_NAMES = {
+    "cpr": "CP tensor completion (ours)",
+    "sgr": "sparse grid regression",
+    "nn": "multi-layer perceptron",
+    "rf": "random forest",
+    "gb": "gradient boosting",
+    "et": "extremely randomized trees",
+    "gp": "Gaussian process regression",
+    "svm": "support vector machine",
+    "mars": "adaptive spline regression",
+    "knn": "k-nearest neighbors",
+}
+
+#: Families that consume category indices natively (no one-hot blow-up).
+_INDEX_NATIVE = {"rf", "gb", "et"}
+
+
+class BaselinePipeline(Regressor):
+    """FeatureMap preprocessing + log-space training for a baseline model."""
+
+    def __init__(self, inner: Regressor, space: ParameterSpace | None, one_hot: bool):
+        self.fm = FeatureMap(space, one_hot=one_hot)
+        self.model = LogSpaceRegressor(inner)
+
+    def fit(self, X, y) -> "BaselinePipeline":
+        X = np.asarray(X, dtype=float)
+        F = self.fm.fit_transform(X)
+        self.model.fit(F, y)
+        self.n_features_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        X = self._validate_predict(np.asarray(X, dtype=float))
+        return self.model.predict(self.fm.transform(X))
+
+    def __getstate_for_size__(self):
+        return {
+            "fm": (self.fm.mean_, self.fm.scale_),
+            "model": self.model.__getstate_for_size__(),
+        }
+
+    def __repr__(self):
+        return f"BaselinePipeline({self.model.inner!r})"
+
+
+_FACTORIES = {
+    "sgr": SparseGridRegressor,
+    "nn": MLPRegressor,
+    "rf": RandomForestRegressor,
+    "gb": GradientBoostingRegressor,
+    "et": ExtraTreesRegressor,
+    "gp": GaussianProcessRegressor,
+    "svm": SVMRegressor,
+    "mars": MARSRegressor,
+    "knn": KNNRegressor,
+}
+
+_SEEDED = {"nn", "rf", "gb", "et", "gp", "svm"}
+
+
+def make_model(name: str, params: dict | None = None, space: ParameterSpace | None = None, seed=0):
+    """Instantiate model ``name`` with hyper-parameters ``params``.
+
+    Returns an object exposing ``fit`` / ``predict`` / ``score`` /
+    ``size_bytes`` — either a :class:`~repro.core.CPRModel` or a
+    :class:`BaselinePipeline`.
+    """
+    params = dict(params or {})
+    if name == "cpr":
+        return CPRModel(space=space, seed=seed, **params)
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; options: {sorted(MODEL_NAMES)}"
+        ) from None
+    if name in _SEEDED:
+        params.setdefault("seed", seed)
+    inner = factory(**params)
+    return BaselinePipeline(inner, space, one_hot=name not in _INDEX_NATIVE)

@@ -1,0 +1,44 @@
+"""Table 1: numerical verification of the error-metric equivalences.
+
+Rows 1-5 of the paper's Table 1 assert that each aggregate metric has an
+exactly equivalent expression in the relative errors ``eps = m/y - 1``;
+rows 6-7 (MLogQ, MLogQ2) match their epsilon expressions to low-order
+Taylor expansion.  This driver draws random ``(y, eps)`` and reports the
+worst absolute discrepancy per row, at two epsilon magnitudes, so the
+Taylor rows visibly tighten as ``eps -> 0``.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import METRICS, epsilon_form
+from repro.utils.rng import as_generator
+
+__all__ = ["run"]
+
+_EXACT_ROWS = ("mape", "mae", "mse", "smape", "lgmape")
+_TAYLOR_ROWS = ("mlogq", "mlogq2")
+
+
+def run(scale: str | None = None, seed: int = 0, n: int = 4096) -> dict:
+    rng = as_generator(seed)
+    rows = []
+    for eps_mag in (0.5, 0.01):
+        y = np.exp(rng.uniform(-8, 2, size=n))  # times spanning 5 decades
+        eps = rng.uniform(-eps_mag, eps_mag, size=n)
+        m = y * (1.0 + eps)
+        for name in (*_EXACT_ROWS, *_TAYLOR_ROWS):
+            direct = METRICS[name](m, y)
+            via_eps = epsilon_form(name, eps, y)
+            gap = abs(direct - via_eps)
+            rel_gap = gap / max(abs(direct), 1e-30)
+            kind = "exact" if name in _EXACT_ROWS else "taylor"
+            rows.append((name, kind, eps_mag, direct, via_eps, rel_gap))
+    return {
+        "headers": ["metric", "equivalence", "eps_scale", "direct", "eps_form", "rel_gap"],
+        "rows": rows,
+        "notes": (
+            "exact rows: rel_gap ~ machine precision at every eps scale; "
+            "taylor rows: rel_gap shrinks as O(eps) when eps -> 0"
+        ),
+    }

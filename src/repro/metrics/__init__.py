@@ -1,0 +1,28 @@
+"""Error metrics for performance-model assessment (paper Table 1, Section 2.2)."""
+from repro.metrics.errors import (
+    mape,
+    mae,
+    mse,
+    smape,
+    lgmape,
+    mlogq,
+    mlogq2,
+    log_q,
+    relative_errors,
+    METRICS,
+    epsilon_form,
+)
+
+__all__ = [
+    "mape",
+    "mae",
+    "mse",
+    "smape",
+    "lgmape",
+    "mlogq",
+    "mlogq2",
+    "log_q",
+    "relative_errors",
+    "METRICS",
+    "epsilon_form",
+]

@@ -1,0 +1,194 @@
+"""Aggregate error metrics from Table 1 of the paper.
+
+Every metric takes model predictions ``m`` and true positive outputs ``y``
+(execution times) and returns the *mean* aggregate (the paper's table lists
+sums scaled by ``M``; we report per-sample means, a constant factor that does
+not affect model ranking).
+
+Two parallel formulations are provided for each metric:
+
+* the direct *mathematical expression* over ``(m, y)``, and
+* the *error expression* over relative errors ``eps = m / y - 1``
+  (:func:`epsilon_form`).
+
+Rows 1-5 of Table 1 are exactly equivalent between the two forms; rows 6-7
+(MLogQ, MLogQ2) match to low-order Taylor expansion in ``eps``.  Both forms
+are implemented so tests and benchmarks can verify the table numerically.
+
+Only MLogQ and MLogQ2 are scale-independent: they penalize ``m = a*y`` and
+``m = y/a`` equally, which is why the paper adopts MLogQ for model assessment
+and MLogQ2 as a differentiable training loss.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_1d, check_positive
+
+__all__ = [
+    "mape",
+    "mae",
+    "mse",
+    "smape",
+    "lgmape",
+    "mlogq",
+    "mlogq2",
+    "log_q",
+    "relative_errors",
+    "epsilon_form",
+    "METRICS",
+]
+
+
+def _prep(m, y) -> tuple[np.ndarray, np.ndarray]:
+    m = check_1d(m, "predictions")
+    y = check_1d(y, "targets")
+    if m.shape != y.shape:
+        raise ValueError(f"shape mismatch: predictions {m.shape} vs targets {y.shape}")
+    check_positive(y, "targets")
+    return m, y
+
+
+def relative_errors(m, y) -> np.ndarray:
+    """Relative errors ``eps_k = m_k / y_k - 1`` (paper Section 2.2)."""
+    m, y = _prep(m, y)
+    return m / y - 1.0
+
+
+def mape(m, y) -> float:
+    """Mean absolute percentage error ``mean(|m - y| / y)``."""
+    m, y = _prep(m, y)
+    return float(np.mean(np.abs(m - y) / y))
+
+
+def mae(m, y) -> float:
+    """Mean absolute error ``mean(|m - y|)``."""
+    m, y = _prep(m, y)
+    return float(np.mean(np.abs(m - y)))
+
+
+def mse(m, y) -> float:
+    """Mean squared error ``mean((m - y)^2)``."""
+    m, y = _prep(m, y)
+    return float(np.mean((m - y) ** 2))
+
+
+def smape(m, y) -> float:
+    """Symmetric MAPE ``2 * mean(|m - y| / (y + m))``.
+
+    Follows the paper's Table 1 definition.  Requires ``y + m != 0``; for the
+    positive execution times modeled here ``m`` is expected non-negative.
+    """
+    m, y = _prep(m, y)
+    denom = y + m
+    if np.any(denom == 0):
+        raise ValueError("SMAPE undefined when m + y == 0")
+    return float(2.0 * np.mean(np.abs(m - y) / denom))
+
+
+def lgmape(m, y) -> float:
+    """Log geometric-mean APE ``mean(log(|m - y| / y))``.
+
+    Diverges to ``-inf`` for exact predictions; retained for completeness of
+    Table 1 rather than recommended for use.
+    """
+    m, y = _prep(m, y)
+    ratio = np.abs(m - y) / y
+    with np.errstate(divide="ignore"):
+        return float(np.mean(np.log(ratio)))
+
+
+def log_q(m, y) -> np.ndarray:
+    """Per-sample log accuracy ratios ``log(m_k / y_k)``.
+
+    Non-positive predictions are clipped to a tiny positive constant first
+    (the paper assigns non-positive entries ``1e-16`` before evaluating
+    MLogQ in Figure 1).
+    """
+    m, y = _prep(m, y)
+    m = np.maximum(m, 1e-16)
+    return np.log(m / y)
+
+
+def mlogq(m, y) -> float:
+    """Mean absolute log accuracy ratio ``mean(|log(m / y)|)``.
+
+    The paper's headline, scale-independent error metric.
+    """
+    return float(np.mean(np.abs(log_q(m, y))))
+
+
+def mlogq2(m, y) -> float:
+    """Mean squared log accuracy ratio ``mean(log^2(m / y))``."""
+    return float(np.mean(log_q(m, y) ** 2))
+
+
+# --- Table 1 right-hand column: expressions in eps = m/y - 1 ----------------
+
+
+def _eps_mape(eps, y):
+    return float(np.mean(np.abs(eps)))
+
+
+def _eps_mae(eps, y):
+    return float(np.mean(np.abs(y * eps)))
+
+
+def _eps_mse(eps, y):
+    return float(np.mean((y * eps) ** 2))
+
+
+def _eps_smape(eps, y):
+    return float(2.0 * np.mean(np.abs(eps / (2.0 + eps))))
+
+
+def _eps_lgmape(eps, y):
+    with np.errstate(divide="ignore"):
+        return float(np.mean(np.log(np.abs(eps))))
+
+
+def _eps_mlogq(eps, y):
+    # First-order Taylor form |eps / (1 + eps)|; exact form is |log(1+eps)|.
+    return float(np.mean(np.abs(eps / (1.0 + eps))))
+
+
+def _eps_mlogq2(eps, y):
+    return float(np.mean((eps / (1.0 + eps)) ** 2))
+
+
+_EPS_FORMS = {
+    "mape": _eps_mape,
+    "mae": _eps_mae,
+    "mse": _eps_mse,
+    "smape": _eps_smape,
+    "lgmape": _eps_lgmape,
+    "mlogq": _eps_mlogq,
+    "mlogq2": _eps_mlogq2,
+}
+
+#: Metric name -> direct (m, y) implementation; the rows of Table 1.
+METRICS = {
+    "mape": mape,
+    "mae": mae,
+    "mse": mse,
+    "smape": smape,
+    "lgmape": lgmape,
+    "mlogq": mlogq,
+    "mlogq2": mlogq2,
+}
+
+
+def epsilon_form(name: str, eps, y) -> float:
+    """Evaluate Table 1's *error expression* column for metric ``name``.
+
+    ``eps`` are relative errors ``m/y - 1`` and ``y`` the true outputs.  For
+    rows 1-5 this equals the direct metric exactly; for MLogQ/MLogQ2 it is
+    the paper's low-order approximant ``|eps/(1+eps)|`` (resp. its square).
+    """
+    eps = check_1d(eps, "eps")
+    y = check_1d(y, "y")
+    try:
+        fn = _EPS_FORMS[name]
+    except KeyError:
+        raise KeyError(f"unknown metric {name!r}; options: {sorted(_EPS_FORMS)}") from None
+    return fn(eps, y)

@@ -1,0 +1,42 @@
+"""Deterministic random number generation helpers.
+
+Every stochastic component in the library accepts a ``seed`` argument that may
+be ``None``, an integer, or a :class:`numpy.random.Generator`.  All of them
+route through :func:`as_generator` so that experiments are reproducible given
+a single integer seed.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_rngs"]
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed
+        ``None`` (fresh OS entropy), an ``int``, a :class:`numpy.random.SeedSequence`,
+        or an existing :class:`numpy.random.Generator` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
+    """Create ``n`` statistically independent generators from one seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so that child streams do
+    not overlap, which matters when e.g. each tree of a random forest draws
+    its own bootstrap sample.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children by jumping the parent's bit generator state.
+        return [np.random.default_rng(seed.integers(0, 2**63 - 1)) for _ in range(n)]
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

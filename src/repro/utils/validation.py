@@ -1,0 +1,43 @@
+"""Input validation helpers shared by models and metrics."""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_1d", "check_2d", "check_positive", "check_matching_rows"]
+
+
+def check_1d(x, name: str = "array") -> np.ndarray:
+    """Return ``x`` as a contiguous 1-D float array, raising on bad shape."""
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    return np.ascontiguousarray(arr)
+
+
+def check_2d(x, name: str = "array") -> np.ndarray:
+    """Return ``x`` as a contiguous 2-D float array (rows are samples)."""
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    return np.ascontiguousarray(arr)
+
+
+def check_positive(x, name: str = "array") -> np.ndarray:
+    """Return ``x`` as an array, requiring all entries strictly positive."""
+    arr = np.asarray(x, dtype=float)
+    if arr.size and not np.all(arr > 0):
+        bad = float(np.min(arr))
+        raise ValueError(f"{name} must be strictly positive (min={bad})")
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must be finite")
+    return arr
+
+
+def check_matching_rows(X: np.ndarray, y: np.ndarray) -> None:
+    """Raise when the number of samples in ``X`` and ``y`` disagree."""
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X has {X.shape[0]} rows but y has {y.shape[0]} entries"
+        )

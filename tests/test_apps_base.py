@@ -1,0 +1,177 @@
+"""Tests for Parameter / ParameterSpace / Application plumbing."""
+import numpy as np
+import pytest
+
+from repro.apps.base import Application, Parameter, ParameterSpace
+
+
+class TestParameter:
+    def test_numeric_needs_range(self):
+        with pytest.raises(ValueError):
+            Parameter("x", role="input")
+
+    def test_bad_role(self):
+        with pytest.raises(ValueError):
+            Parameter("x", role="wat", low=1, high=2)
+
+    def test_low_ge_high(self):
+        with pytest.raises(ValueError):
+            Parameter("x", role="input", low=2, high=2)
+
+    def test_log_scale_requires_positive(self):
+        with pytest.raises(ValueError):
+            Parameter("x", role="input", low=0, high=5)
+
+    def test_zero_low_ok_with_linear(self):
+        p = Parameter("x", role="input", low=0, high=5, scale="linear")
+        assert p.resolved_scale == "linear"
+
+    def test_auto_scale_by_role(self):
+        assert Parameter("a", role="input", low=1, high=2).resolved_scale == "log"
+        assert Parameter("b", role="arch", low=1, high=2).resolved_scale == "log"
+        assert Parameter("c", role="config", low=1, high=2).resolved_scale == "linear"
+
+    def test_categorical_requires_two(self):
+        with pytest.raises(ValueError):
+            Parameter("x", categories=("one",))
+
+    def test_categorical_props(self):
+        p = Parameter("x", categories=("a", "b", "c"))
+        assert p.is_categorical and p.n_categories == 3
+
+    def test_n_categories_on_numeric_raises(self):
+        with pytest.raises(ValueError):
+            _ = Parameter("x", role="input", low=1, high=2).n_categories
+
+    def test_sample_in_range(self, rng):
+        p = Parameter("x", role="input", low=4, high=4096)
+        v = p.sample(500, rng)
+        assert np.all((v >= 4) & (v <= 4096))
+
+    def test_sample_integer_rounds(self, rng):
+        p = Parameter("x", role="config", low=1, high=9, integer=True)
+        v = p.sample(200, rng)
+        assert np.all(v == np.rint(v))
+
+    def test_log_sampling_covers_decades(self, rng):
+        p = Parameter("x", role="input", low=1, high=10000)
+        v = p.sample(4000, rng)
+        # log-uniform: ~half the samples below sqrt(low*high)=100
+        frac_small = np.mean(v < 100)
+        assert 0.4 < frac_small < 0.6
+
+    def test_uniform_sampling_not_log(self, rng):
+        p = Parameter("x", role="config", low=1, high=10000)
+        v = p.sample(4000, rng)
+        assert np.mean(v < 100) < 0.05
+
+    def test_categorical_sample_indices(self, rng):
+        p = Parameter("x", categories=tuple("abcd"))
+        v = p.sample(200, rng)
+        assert set(np.unique(v)) <= {0.0, 1.0, 2.0, 3.0}
+
+    def test_contains(self):
+        p = Parameter("x", role="input", low=2, high=8)
+        np.testing.assert_array_equal(
+            p.contains([1, 2, 5, 8, 9]), [False, True, True, True, False]
+        )
+
+
+class TestParameterSpace:
+    def _space(self):
+        return ParameterSpace(
+            [
+                Parameter("n", role="input", low=16, high=1024, integer=True),
+                Parameter("b", role="config", low=1, high=64, integer=True),
+                Parameter("alg", categories=("x", "y", "z")),
+            ],
+            name="toy",
+        )
+
+    def test_duplicate_names_rejected(self):
+        p = Parameter("n", role="input", low=1, high=2)
+        with pytest.raises(ValueError):
+            ParameterSpace([p, p])
+
+    def test_dimension_and_names(self):
+        sp = self._space()
+        assert sp.dimension == 3
+        assert sp.names == ("n", "b", "alg")
+
+    def test_index_and_column(self):
+        sp = self._space()
+        X = sp.sample(10, np.random.default_rng(0))
+        assert sp.index_of("b") == 1
+        np.testing.assert_array_equal(sp.column(X, "b"), X[:, 1])
+        with pytest.raises(KeyError):
+            sp.index_of("zzz")
+
+    def test_getitem(self):
+        sp = self._space()
+        assert sp["alg"].is_categorical
+
+    def test_sample_shape_and_validity(self):
+        sp = self._space()
+        X = sp.sample(100, np.random.default_rng(1))
+        assert X.shape == (100, 3)
+        assert sp.contains(X).all()
+
+    def test_sample_zero(self):
+        assert self._space().sample(0).shape == (0, 3)
+
+    def test_constraint_enforced(self):
+        sp = ParameterSpace(
+            [
+                Parameter("a", role="arch", low=1, high=64, integer=True),
+                Parameter("b", role="arch", low=1, high=64, integer=True),
+            ],
+            constraint=lambda X: (X[:, 0] * X[:, 1] >= 64)
+            & (X[:, 0] * X[:, 1] <= 128),
+        )
+        X = sp.sample(200, np.random.default_rng(2))
+        prod = X[:, 0] * X[:, 1]
+        assert np.all((prod >= 64) & (prod <= 128))
+
+    def test_impossible_constraint_raises(self):
+        sp = ParameterSpace(
+            [Parameter("a", role="input", low=1, high=2)],
+            constraint=lambda X: np.zeros(len(X), dtype=bool),
+        )
+        with pytest.raises(RuntimeError):
+            sp.sample(10, np.random.default_rng(0), max_tries=3)
+
+    def test_validate_shapes(self):
+        sp = self._space()
+        with pytest.raises(ValueError):
+            sp.validate(np.ones((5, 2)))
+        assert sp.validate(np.ones(3)).shape == (1, 3)
+
+    def test_contains_flags_bad_rows(self):
+        sp = self._space()
+        X = sp.sample(5, np.random.default_rng(3))
+        X[0, 0] = 1e9
+        assert not sp.contains(X)[0]
+        assert sp.contains(X)[1:].all()
+
+
+class TestApplicationBase:
+    def test_measure_rejects_nonpositive_latent(self):
+        class Bad(Application):
+            def __init__(self):
+                super().__init__(name="bad")
+
+            @property
+            def space(self):
+                return ParameterSpace([Parameter("x", role="input", low=1, high=2)])
+
+            def latent_time(self, X):
+                return np.zeros(len(X))
+
+        with pytest.raises(RuntimeError):
+            Bad().measure(np.array([[1.5]]))
+
+    def test_sigma_zero_is_latent(self, mm_data):
+        app, train, _ = mm_data
+        t1 = app.measure(train.X[:50], sigma=0)
+        t2 = app.latent_time(train.X[:50])
+        np.testing.assert_allclose(t1, t2)

@@ -1,0 +1,76 @@
+"""Tests for deterministic perturbations and noise processes."""
+import numpy as np
+import pytest
+
+from repro.apps.noise import LogNormalNoise, NoNoise, hash01, hash_perturb
+
+
+class TestHash01:
+    def test_deterministic(self):
+        a = hash01(np.arange(100), np.arange(100) * 2)
+        b = hash01(np.arange(100), np.arange(100) * 2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_range(self):
+        u = hash01(np.arange(10000))
+        assert np.all((u >= 0) & (u < 1))
+
+    def test_roughly_uniform(self):
+        u = hash01(np.arange(100000))
+        assert abs(u.mean() - 0.5) < 0.01
+        assert abs(np.mean(u < 0.25) - 0.25) < 0.01
+
+    def test_salt_changes_stream(self):
+        a = hash01(np.arange(100), salt=1)
+        b = hash01(np.arange(100), salt=2)
+        assert not np.allclose(a, b)
+
+    def test_column_order_matters(self):
+        x = np.arange(50)
+        y = np.arange(50) + 7
+        assert not np.allclose(hash01(x, y), hash01(y, x))
+
+    def test_no_columns_raises(self):
+        with pytest.raises(ValueError):
+            hash01()
+
+    def test_float_inputs_floored(self):
+        a = hash01(np.array([3.2, 3.9]))
+        b = hash01(np.array([3.0, 3.0]))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestHashPerturb:
+    def test_bounds(self):
+        w = hash_perturb(np.arange(10000), amplitude=0.07)
+        assert np.all((w >= 0.93) & (w <= 1.07))
+
+    def test_amplitude_zero_is_one(self):
+        np.testing.assert_allclose(hash_perturb(np.arange(10), amplitude=0.0), 1.0)
+
+    def test_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            hash_perturb(np.arange(3), amplitude=1.5)
+
+
+class TestNoiseProcesses:
+    def test_lognormal_positive(self):
+        n = LogNormalNoise(0.05)
+        t = n.apply(np.full(1000, 2.0), rng=np.random.default_rng(0))
+        assert np.all(t > 0)
+        assert abs(np.std(np.log(t)) - 0.05) < 0.01
+
+    def test_lognormal_zero_sigma_identity(self):
+        n = LogNormalNoise(0.0)
+        x = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(n.apply(x), x)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalNoise(-0.1)
+
+    def test_nonoise_identity_copy(self):
+        x = np.array([1.0, 2.0])
+        out = NoNoise().apply(x)
+        np.testing.assert_array_equal(out, x)
+        assert out is not x

@@ -1,0 +1,231 @@
+"""Behavioural tests for the six application simulators.
+
+These pin the *structure* the modeling experiments rely on: positivity,
+determinism of the latent surface, monotone scaling in size parameters,
+and the qualitative parameter effects each simulator encodes (Table 2
+semantics).
+"""
+import numpy as np
+import pytest
+
+from repro.apps import (
+    AMG,
+    APPLICATIONS,
+    Broadcast,
+    ExaFMM,
+    Kripke,
+    MatMul,
+    QR,
+    get_application,
+)
+
+ALL_APPS = ["matmul", "qr", "bcast", "exafmm", "amg", "kripke"]
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+class TestCommonProperties:
+    def test_latent_positive_finite(self, name):
+        app = get_application(name)
+        X = app.space.sample(500, np.random.default_rng(0))
+        t = app.latent_time(X)
+        assert np.all(t > 0) and np.all(np.isfinite(t))
+
+    def test_latent_deterministic(self, name):
+        app = get_application(name)
+        X = app.space.sample(100, np.random.default_rng(1))
+        np.testing.assert_array_equal(app.latent_time(X), app.latent_time(X))
+
+    def test_measurement_noise_multiplicative(self, name):
+        app = get_application(name)
+        X = app.space.sample(200, np.random.default_rng(2))
+        t0 = app.latent_time(X)
+        t1 = app.measure(X, rng=np.random.default_rng(3))
+        ratio = t1 / t0
+        assert np.all(ratio > 0)
+        # noise is bounded in practice (sigma <= 0.05, 200 samples)
+        assert np.all(np.abs(np.log(ratio)) < 1.0)
+
+    def test_measure_seeded_reproducible(self, name):
+        app = get_application(name)
+        X = app.space.sample(50, np.random.default_rng(4))
+        a = app.measure(X, rng=np.random.default_rng(5))
+        b = app.measure(X, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_wrong_columns_rejected(self, name):
+        app = get_application(name)
+        with pytest.raises(ValueError):
+            app.measure(np.ones((3, app.space.dimension + 1)))
+
+
+def _col(app, X, name):
+    return app.space.index_of(name)
+
+
+class TestMatMul:
+    def test_monotone_in_each_dimension(self):
+        app = MatMul()
+        base = np.array([[256.0, 256.0, 256.0]])
+        for j in range(3):
+            lo = base.copy()
+            hi = base.copy()
+            hi[0, j] = 2048.0
+            assert app.latent_time(hi)[0] > app.latent_time(lo)[0]
+
+    def test_flop_scaling_dominates_at_large_sizes(self):
+        app = MatMul()
+        t1 = app.latent_time(np.array([[1024.0, 1024.0, 1024.0]]))[0]
+        t2 = app.latent_time(np.array([[2048.0, 2048.0, 2048.0]]))[0]
+        # 8x flops; allow cache-regime slack
+        assert 4.0 < t2 / t1 < 16.0
+
+    def test_table2_ranges(self):
+        sp = MatMul().space
+        for name in ("m", "n", "k"):
+            p = sp[name]
+            assert (p.low, p.high) == (32, 4096)
+
+
+class TestQR:
+    def test_constraint_m_ge_n(self):
+        app = QR()
+        X = app.space.sample(300, np.random.default_rng(0))
+        assert np.all(X[:, 0] >= X[:, 1])
+
+    def test_monotone_in_n_for_fixed_m(self):
+        app = QR()
+        t1 = app.latent_time(np.array([[8192.0, 128.0]]))[0]
+        t2 = app.latent_time(np.array([[8192.0, 1024.0]]))[0]
+        assert t2 > t1
+
+    def test_tall_skinny_cheaper_than_square(self):
+        app = QR()
+        tall = app.latent_time(np.array([[65536.0, 64.0]]))[0]
+        square = app.latent_time(np.array([[8192.0, 8192.0]]))[0]
+        assert tall < square
+
+
+class TestBroadcast:
+    def test_monotone_in_message_size(self):
+        app = Broadcast()
+        t1 = app.latent_time(np.array([[16.0, 16.0, 2.0**17]]))[0]
+        t2 = app.latent_time(np.array([[16.0, 16.0, 2.0**24]]))[0]
+        assert t2 > t1
+
+    def test_more_nodes_cost_more(self):
+        app = Broadcast()
+        t1 = app.latent_time(np.array([[2.0, 8.0, 2.0**20]]))[0]
+        t2 = app.latent_time(np.array([[128.0, 8.0, 2.0**20]]))[0]
+        assert t2 > t1
+
+    def test_single_node_has_no_network_term(self):
+        app = Broadcast()
+        single = app.latent_time(np.array([[1.0, 8.0, 2.0**20]]))[0]
+        multi = app.latent_time(np.array([[2.0, 8.0, 2.0**20]]))[0]
+        assert multi > 1.5 * single
+
+    def test_ppn_contention(self):
+        app = Broadcast()
+        t1 = app.latent_time(np.array([[4.0, 2.0, 2.0**22]]))[0]
+        t2 = app.latent_time(np.array([[4.0, 64.0, 2.0**22]]))[0]
+        assert t2 > t1
+
+
+class TestExaFMM:
+    def test_node_constraint(self):
+        app = ExaFMM()
+        X = app.space.sample(300, np.random.default_rng(0))
+        prod = X[:, 4] * X[:, 5]
+        assert np.all((prod >= 64) & (prod <= 128))
+
+    def test_order_increases_m2l_cost(self):
+        app = ExaFMM()
+        lo = np.array([[2.0**14, 4.0, 64.0, 2.0, 2.0, 32.0]])
+        hi = lo.copy()
+        hi[0, 1] = 15.0
+        assert app.latent_time(hi)[0] > app.latent_time(lo)[0]
+
+    def test_ppl_tradeoff_exists(self):
+        """Large expansion order should favour larger leaves (classic FMM)."""
+        app = ExaFMM()
+
+        def t(ppl, order):
+            return app.latent_time(
+                np.array([[2.0**15, order, ppl, 2.0, 2.0, 32.0]])
+            )[0]
+
+        # At high order the small-leaf config pays for many M2L translations.
+        assert t(32.0, 15.0) > t(256.0, 15.0)
+        # At low order the big-leaf config pays for P2P instead.
+        assert t(256.0, 4.0) > t(32.0, 4.0)
+
+
+class TestAMG:
+    def test_categorical_choices_change_time(self):
+        app = AMG()
+        base = np.array([[32.0, 32.0, 32.0, 0.0, 0.0, 0.0, 2.0, 32.0]])
+        times = set()
+        for ct in range(7):
+            row = base.copy()
+            row[0, 3] = ct
+            times.add(round(float(app.latent_time(row)[0]), 9))
+        assert len(times) >= 6  # coarsening choice matters
+
+    def test_volume_scaling(self):
+        app = AMG()
+        small = np.array([[8.0, 8.0, 8.0, 1.0, 1.0, 1.0, 2.0, 32.0]])
+        large = np.array([[128.0, 128.0, 128.0, 1.0, 1.0, 1.0, 2.0, 32.0]])
+        assert app.latent_time(large)[0] > 50 * app.latent_time(small)[0]
+
+    def test_bad_category_index_rejected(self):
+        app = AMG()
+        row = np.array([[32.0, 32.0, 32.0, 99.0, 0.0, 0.0, 2.0, 32.0]])
+        # Sampling never produces this, but latent_time indexing must not
+        # silently wrap negative/overflow indices.
+        with pytest.raises(IndexError):
+            app.latent_time(row)
+
+
+class TestKripke:
+    def test_solver_bj_needs_more_iterations(self):
+        app = Kripke()
+        base = np.array([[32.0, 2.0, 32.0, 16.0, 8.0, 0.0, 0.0, 2.0, 32.0]])
+        bj = base.copy()
+        bj[0, 6] = 1.0
+        # block-Jacobi pays iteration inflation but avoids sweep pipeline:
+        # effect is configuration dependent, but both must be positive and
+        # differ measurably.
+        t_sweep = app.latent_time(base)[0]
+        t_bj = app.latent_time(bj)[0]
+        assert abs(np.log(t_bj / t_sweep)) > 0.01
+
+    def test_layout_matters_more_when_shapes_skewed(self):
+        app = Kripke()
+        times = []
+        for layout in range(6):
+            row = np.array([[128.0, 1.0, 8.0, 8.0, 4.0, layout, 0.0, 2.0, 32.0]])
+            times.append(app.latent_time(row)[0])
+        assert max(times) / min(times) > 1.02
+
+    def test_work_scales_with_groups_quad_moments(self):
+        app = Kripke()
+        lo = np.array([[8.0, 0.0, 8.0, 8.0, 4.0, 0.0, 0.0, 2.0, 32.0]])
+        hi = np.array([[128.0, 5.0, 128.0, 8.0, 4.0, 0.0, 0.0, 2.0, 32.0]])
+        assert app.latent_time(hi)[0] > 20 * app.latent_time(lo)[0]
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in APPLICATIONS:
+            assert get_application(name).space.dimension >= 2
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_application("nope")
+
+    def test_paper_dimensions(self):
+        dims = {n: get_application(n).space.dimension for n in ALL_APPS}
+        assert dims == {
+            "matmul": 3, "qr": 2, "bcast": 3,
+            "exafmm": 6, "amg": 8, "kripke": 9,
+        }

@@ -1,0 +1,130 @@
+"""Interface-contract tests shared by every baseline regressor."""
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ExtraTreesRegressor,
+    GaussianProcessRegressor,
+    GradientBoostingRegressor,
+    KNNRegressor,
+    LogSpaceRegressor,
+    MARSRegressor,
+    MLPRegressor,
+    OLSRegressor,
+    PMNFRegressor,
+    RandomForestRegressor,
+    RidgeRegressor,
+    SparseGridRegressor,
+    SVMRegressor,
+)
+
+# (factory, needs_seed) — small/fast configurations for contract tests
+FACTORIES = {
+    "ols": lambda: OLSRegressor(),
+    "ridge": lambda: RidgeRegressor(alpha=1e-3),
+    "pmnf": lambda: PMNFRegressor(n_terms=3, interactions=False),
+    "knn": lambda: KNNRegressor(k=3),
+    "mars": lambda: MARSRegressor(max_terms=9, max_knots=8),
+    "rf": lambda: RandomForestRegressor(n_estimators=4, max_depth=4, seed=0),
+    "et": lambda: ExtraTreesRegressor(n_estimators=4, max_depth=4, seed=0),
+    "gb": lambda: GradientBoostingRegressor(n_estimators=8, max_depth=3, seed=0),
+    "mlp": lambda: MLPRegressor(hidden=(16,), max_epochs=20, seed=0),
+    "gp": lambda: GaussianProcessRegressor(max_train=256, seed=0),
+    "svm": lambda: SVMRegressor(max_train=256, max_iter=200, seed=0),
+    "sgr": lambda: SparseGridRegressor(level=3),
+}
+
+
+@pytest.fixture(scope="module")
+def toy_regression():
+    gen = np.random.default_rng(0)
+    X = gen.uniform(-1, 1, size=(300, 3))
+    y = 2.0 + X[:, 0] - 0.5 * X[:, 1] + 0.3 * X[:, 0] * X[:, 2]
+    return X, y
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+class TestContract:
+    def test_fit_returns_self(self, name, toy_regression):
+        X, y = toy_regression
+        model = FACTORIES[name]()
+        assert model.fit(X, y) is model
+
+    def test_predict_shape(self, name, toy_regression):
+        X, y = toy_regression
+        model = FACTORIES[name]().fit(X, y)
+        assert model.predict(X[:17]).shape == (17,)
+
+    def test_unfitted_predict_raises(self, name, toy_regression):
+        X, _ = toy_regression
+        with pytest.raises(RuntimeError):
+            FACTORIES[name]().predict(X)
+
+    def test_feature_count_mismatch(self, name, toy_regression):
+        X, y = toy_regression
+        model = FACTORIES[name]().fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(np.ones((4, 5)))
+
+    def test_empty_fit_rejected(self, name):
+        with pytest.raises(ValueError):
+            FACTORIES[name]().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_better_than_constant(self, name, toy_regression):
+        """Every model must beat the predict-the-mean baseline in MSE."""
+        X, y = toy_regression
+        model = FACTORIES[name]().fit(X, y)
+        pred = model.predict(X)
+        assert np.mean((pred - y) ** 2) < 0.9 * np.var(y)
+
+    def test_constant_target(self, name, toy_regression):
+        X, _ = toy_regression
+        y = np.full(len(X), 3.5)
+        model = FACTORIES[name]().fit(X, y)
+        pred = model.predict(X[:20])
+        np.testing.assert_allclose(pred, 3.5, atol=0.5)
+
+    def test_size_bytes_positive(self, name, toy_regression):
+        X, y = toy_regression
+        model = FACTORIES[name]().fit(X, y)
+        assert model.size_bytes > 0
+
+    def test_score_uses_mlogq(self, name, toy_regression):
+        X, y = toy_regression
+        ypos = np.abs(y) + 1.0
+        model = FACTORIES[name]().fit(X, ypos)
+        s = model.score(X, ypos)
+        assert np.isfinite(s) and s >= 0
+
+
+class TestLogSpaceWrapper:
+    def test_positive_predictions(self, toy_regression):
+        X, y = toy_regression
+        ypos = np.exp(y)
+        m = LogSpaceRegressor(OLSRegressor()).fit(X, ypos)
+        assert np.all(m.predict(X) > 0)
+
+    def test_recovers_loglinear_exactly(self):
+        gen = np.random.default_rng(1)
+        X = gen.uniform(0, 1, size=(100, 2))
+        ypos = np.exp(1.0 + 2.0 * X[:, 0] - X[:, 1])
+        m = LogSpaceRegressor(OLSRegressor()).fit(X, ypos)
+        np.testing.assert_allclose(m.predict(X), ypos, rtol=1e-8)
+
+    def test_rejects_nonpositive(self, toy_regression):
+        X, y = toy_regression
+        with pytest.raises(ValueError):
+            LogSpaceRegressor(OLSRegressor()).fit(X, y - y.min())
+
+    def test_size_uses_inner_hook(self, toy_regression):
+        X, y = toy_regression
+        m = LogSpaceRegressor(MARSRegressor(max_terms=5)).fit(X, np.abs(y) + 1)
+        assert m.size_bytes < 4096
+
+
+@pytest.mark.parametrize("name", ["rf", "et", "gb", "mlp", "gp", "svm"])
+def test_seeded_models_reproducible(name, toy_regression):
+    X, y = toy_regression
+    a = FACTORIES[name]().fit(X, y).predict(X[:10])
+    b = FACTORIES[name]().fit(X, y).predict(X[:10])
+    np.testing.assert_allclose(a, b)

@@ -1,0 +1,292 @@
+"""Behavioural tests for individual baseline models."""
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DecisionTreeRegressor,
+    ExtraTreesRegressor,
+    GaussianProcessRegressor,
+    GradientBoostingRegressor,
+    KNNRegressor,
+    MARSRegressor,
+    MLPRegressor,
+    OLSRegressor,
+    PMNFRegressor,
+    RandomForestRegressor,
+    RidgeRegressor,
+    SVMRegressor,
+)
+from repro.baselines.kernels import (
+    KERNELS,
+    Matern,
+    RBF,
+    RationalQuadratic,
+    make_kernel,
+)
+
+
+class TestKNN:
+    def test_k1_reproduces_training(self):
+        gen = np.random.default_rng(0)
+        X = gen.uniform(size=(50, 2))
+        y = gen.uniform(size=50)
+        m = KNNRegressor(k=1).fit(X, y)
+        np.testing.assert_allclose(m.predict(X), y)
+
+    def test_k_larger_than_n(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([1.0, 3.0])
+        m = KNNRegressor(k=10).fit(X, y)
+        np.testing.assert_allclose(m.predict(np.array([[0.5]])), [2.0])
+
+    def test_distance_weights_exact_hit(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1.0, 2.0, 3.0])
+        m = KNNRegressor(k=3, weights="distance").fit(X, y)
+        assert m.predict(np.array([[1.0]]))[0] == pytest.approx(2.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(k=0)
+        with pytest.raises(ValueError):
+            KNNRegressor(weights="nope")
+
+
+class TestDecisionTree:
+    def test_fits_step_function_exactly(self):
+        X = np.linspace(0, 1, 200)[:, None]
+        y = (X[:, 0] > 0.5).astype(float)
+        m = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        np.testing.assert_allclose(m.predict(X), y)
+
+    def test_depth_limits_nodes(self):
+        gen = np.random.default_rng(1)
+        X = gen.uniform(size=(500, 3))
+        y = gen.uniform(size=500)
+        m1 = DecisionTreeRegressor(max_depth=2, seed=0).fit(X, y)
+        m2 = DecisionTreeRegressor(max_depth=8, seed=0).fit(X, y)
+        assert m1.n_nodes <= 7 < m2.n_nodes
+
+    def test_min_samples_leaf(self):
+        gen = np.random.default_rng(2)
+        X = gen.uniform(size=(100, 2))
+        y = gen.uniform(size=100)
+        m = DecisionTreeRegressor(max_depth=12, min_samples_leaf=20).fit(X, y)
+        # every leaf's prediction is a mean of >= 20 samples: counts unseen,
+        # but node count is strongly limited
+        assert m.n_nodes < 20
+
+    def test_predictions_are_leaf_means(self):
+        X = np.array([[0.0], [0.1], [0.9], [1.0]])
+        y = np.array([1.0, 2.0, 5.0, 7.0])
+        m = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        pred = m.predict(np.array([[0.05], [0.95]]))
+        np.testing.assert_allclose(pred, [1.5, 6.0])
+
+    def test_random_splitter_works(self):
+        gen = np.random.default_rng(3)
+        X = gen.uniform(size=(300, 2))
+        y = X[:, 0]
+        m = DecisionTreeRegressor(max_depth=8, splitter="random", seed=0).fit(X, y)
+        assert np.mean((m.predict(X) - y) ** 2) < 0.05 * np.var(y)
+
+    def test_invalid_splitter(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(splitter="sorted")
+
+
+class TestForests:
+    def test_rf_variance_reduction(self):
+        gen = np.random.default_rng(4)
+        X = gen.uniform(size=(400, 3))
+        y = X[:, 0] + 0.3 * gen.standard_normal(400)
+        single = DecisionTreeRegressor(max_depth=10, seed=0).fit(X, y)
+        forest = RandomForestRegressor(n_estimators=32, max_depth=10, seed=0).fit(X, y)
+        Xt = gen.uniform(size=(200, 3))
+        yt = Xt[:, 0]
+        mse_tree = np.mean((single.predict(Xt) - yt) ** 2)
+        mse_rf = np.mean((forest.predict(Xt) - yt) ** 2)
+        assert mse_rf < mse_tree
+
+    def test_predictions_within_target_hull(self):
+        gen = np.random.default_rng(5)
+        X = gen.uniform(size=(200, 2))
+        y = gen.uniform(1.0, 2.0, size=200)
+        for cls in (RandomForestRegressor, ExtraTreesRegressor):
+            m = cls(n_estimators=8, max_depth=6, seed=0).fit(X, y)
+            pred = m.predict(gen.uniform(-1, 2, size=(100, 2)))
+            assert np.all(pred >= 1.0 - 1e-9) and np.all(pred <= 2.0 + 1e-9)
+
+    def test_et_differs_from_rf(self):
+        gen = np.random.default_rng(6)
+        X = gen.uniform(size=(200, 2))
+        y = X[:, 0] * X[:, 1]
+        rf = RandomForestRegressor(n_estimators=4, max_depth=6, seed=0).fit(X, y)
+        et = ExtraTreesRegressor(n_estimators=4, max_depth=6, seed=0).fit(X, y)
+        assert not np.allclose(rf.predict(X), et.predict(X))
+
+
+class TestBoosting:
+    def test_more_stages_fit_better(self):
+        gen = np.random.default_rng(7)
+        X = gen.uniform(size=(300, 2))
+        y = np.sin(4 * X[:, 0]) + X[:, 1]
+        m1 = GradientBoostingRegressor(n_estimators=2, max_depth=2, seed=0).fit(X, y)
+        m2 = GradientBoostingRegressor(n_estimators=64, max_depth=2, seed=0).fit(X, y)
+        assert np.mean((m2.predict(X) - y) ** 2) < np.mean((m1.predict(X) - y) ** 2)
+
+    def test_learning_rate_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=1.5)
+
+    def test_subsample_runs(self):
+        gen = np.random.default_rng(8)
+        X = gen.uniform(size=(200, 2))
+        y = X[:, 0]
+        m = GradientBoostingRegressor(
+            n_estimators=16, subsample=0.5, seed=0
+        ).fit(X, y)
+        assert np.mean((m.predict(X) - y) ** 2) < 0.2 * np.var(y)
+
+
+class TestMLP:
+    def test_fits_nonlinear_function(self):
+        gen = np.random.default_rng(9)
+        X = gen.uniform(-1, 1, size=(500, 2))
+        y = np.sin(3 * X[:, 0]) * X[:, 1]
+        m = MLPRegressor(hidden=(64, 64), max_epochs=200, seed=0).fit(X, y)
+        assert np.mean((m.predict(X) - y) ** 2) < 0.1 * np.var(y)
+
+    def test_tanh_activation(self):
+        gen = np.random.default_rng(10)
+        X = gen.uniform(-1, 1, size=(200, 2))
+        y = X[:, 0]
+        m = MLPRegressor(hidden=(16,), activation="tanh", max_epochs=300,
+                         seed=0).fit(X, y)
+        assert np.mean((m.predict(X) - y) ** 2) < 0.1 * np.var(y)
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            MLPRegressor(activation="gelu")
+
+    def test_invalid_hidden(self):
+        with pytest.raises(ValueError):
+            MLPRegressor(hidden=())
+
+    def test_loss_history_recorded(self):
+        gen = np.random.default_rng(11)
+        X = gen.uniform(size=(100, 2))
+        y = X[:, 0]
+        m = MLPRegressor(hidden=(8,), max_epochs=30, seed=0).fit(X, y)
+        assert len(m.loss_history_) >= 1
+        assert m.loss_history_[-1] < m.loss_history_[0]
+
+
+class TestGP:
+    def test_interpolates_noiselessly(self):
+        gen = np.random.default_rng(12)
+        X = gen.uniform(-1, 1, size=(60, 1))
+        y = np.sin(3 * X[:, 0])
+        m = GaussianProcessRegressor(noise=1e-8, seed=0).fit(X, y)
+        np.testing.assert_allclose(m.predict(X), y, atol=1e-3)
+
+    def test_return_std(self):
+        gen = np.random.default_rng(13)
+        X = gen.uniform(-1, 1, size=(40, 1))
+        y = X[:, 0]
+        m = GaussianProcessRegressor(seed=0).fit(X, y)
+        mean, std = m.predict(np.array([[0.0], [5.0]]), return_std=True)
+        assert std[1] > std[0]  # far from data -> more uncertain
+
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_all_kernels_fit(self, kernel):
+        gen = np.random.default_rng(14)
+        X = gen.uniform(-1, 1, size=(80, 2))
+        y = X[:, 0] + X[:, 1] ** 2
+        m = GaussianProcessRegressor(kernel=kernel, seed=0).fit(X, y)
+        assert np.mean((m.predict(X) - y) ** 2) < 0.5 * np.var(y)
+
+    def test_max_train_subsamples(self):
+        gen = np.random.default_rng(15)
+        X = gen.uniform(size=(500, 2))
+        y = X[:, 0]
+        m = GaussianProcessRegressor(max_train=100, seed=0).fit(X, y)
+        assert len(m.X_train_) == 100
+
+    def test_kernel_psd_properties(self):
+        gen = np.random.default_rng(16)
+        X = gen.uniform(size=(30, 3))
+        for k in (RBF(0.5), Matern(0.5, nu=1.5), Matern(0.5, nu=2.5),
+                  RationalQuadratic(0.7, 1.3)):
+            K = k(X, X)
+            np.testing.assert_allclose(K, K.T, atol=1e-12)
+            w = np.linalg.eigvalsh(K)
+            assert w.min() > -1e-8
+            np.testing.assert_allclose(np.diag(K), 1.0, atol=1e-10)
+
+    def test_make_kernel_unknown(self):
+        with pytest.raises(KeyError):
+            make_kernel("laplace")
+
+
+class TestSVM:
+    def test_fits_linear_with_poly1(self):
+        gen = np.random.default_rng(17)
+        X = gen.uniform(-1, 1, size=(200, 2))
+        y = 2 * X[:, 0] - X[:, 1] + 0.5
+        m = SVMRegressor(kernel="poly", degree=1, C=100.0, epsilon=0.01,
+                         seed=0).fit(X, y)
+        assert np.mean((m.predict(X) - y) ** 2) < 0.05 * np.var(y)
+
+    def test_epsilon_insensitivity_gives_sparsity(self):
+        gen = np.random.default_rng(18)
+        X = gen.uniform(-1, 1, size=(300, 1))
+        y = X[:, 0]
+        tight = SVMRegressor(epsilon=0.001, seed=0).fit(X, y)
+        loose = SVMRegressor(epsilon=0.3, seed=0).fit(X, y)
+        assert loose.n_support_ < tight.n_support_
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            SVMRegressor(kernel="sigmoid")
+        with pytest.raises(ValueError):
+            SVMRegressor(degree=4)
+        with pytest.raises(ValueError):
+            SVMRegressor(C=-1.0)
+
+
+class TestLinearModels:
+    def test_ols_exact_on_linear(self):
+        gen = np.random.default_rng(19)
+        X = gen.uniform(size=(50, 3))
+        y = 1.0 + X @ np.array([2.0, -1.0, 0.5])
+        m = OLSRegressor().fit(X, y)
+        np.testing.assert_allclose(m.predict(X), y, atol=1e-10)
+
+    def test_ridge_shrinks_vs_ols(self):
+        gen = np.random.default_rng(20)
+        X = gen.uniform(size=(30, 5))
+        y = X @ np.array([5.0, 0, 0, 0, 0]) + 0.01 * gen.standard_normal(30)
+        ols = OLSRegressor().fit(X, y)
+        ridge = RidgeRegressor(alpha=10.0).fit(X, y)
+        assert np.linalg.norm(ridge.w_) < np.linalg.norm(ols.coef_[1:])
+
+    def test_ridge_alpha_validation(self):
+        with pytest.raises(ValueError):
+            RidgeRegressor(alpha=-1)
+
+    def test_pmnf_recovers_power_law(self):
+        gen = np.random.default_rng(21)
+        X = np.exp(gen.uniform(0, 5, size=(300, 2)))
+        logy = 2.0 * np.log(X[:, 0]) + 1.0 * np.log(X[:, 1]) - 3.0
+        m = PMNFRegressor(n_terms=3, interactions=False).fit(X, logy)
+        assert np.mean((m.predict(X) - logy) ** 2) < 1e-6
+
+    def test_pmnf_terms_recorded(self):
+        gen = np.random.default_rng(22)
+        X = np.exp(gen.uniform(0, 3, size=(100, 2)))
+        y = np.log(X[:, 0])
+        m = PMNFRegressor(n_terms=2).fit(X, y)
+        assert 1 <= len(m.terms_) <= 2

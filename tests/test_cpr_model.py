@@ -1,0 +1,205 @@
+"""End-to-end tests for the CPRModel public API."""
+import numpy as np
+import pytest
+
+from repro.apps import MatMul
+from repro.core import CPRModel
+from repro.utils import load_model, save_model
+
+
+class TestConstruction:
+    def test_bad_loss(self):
+        with pytest.raises(ValueError):
+            CPRModel(loss="huber")
+
+    def test_mlogq2_forces_amn(self):
+        m = CPRModel(loss="mlogq2")
+        assert m.optimizer == "amn"
+        with pytest.raises(ValueError):
+            CPRModel(loss="mlogq2", optimizer="als")
+
+    def test_amn_requires_mlogq2(self):
+        with pytest.raises(ValueError):
+            CPRModel(loss="log_mse", optimizer="amn")
+
+    def test_bad_out_of_domain(self):
+        with pytest.raises(ValueError):
+            CPRModel(out_of_domain="panic")
+
+    def test_unknown_optimizer(self):
+        with pytest.raises(ValueError):
+            CPRModel(optimizer="adamw")
+
+    def test_repr_unfitted(self):
+        assert "rank=4" in repr(CPRModel(rank=4))
+
+
+class TestFitPredictSmooth(object):
+    def test_fits_separable_function(self, smooth_2d):
+        X, y = smooth_2d
+        m = CPRModel(cells=16, rank=2, seed=0).fit(X, y)
+        err = m.score(X, y)
+        assert err < 0.05
+
+    def test_predictions_positive(self, smooth_2d):
+        X, y = smooth_2d
+        m = CPRModel(cells=8, rank=2, seed=0).fit(X, y)
+        assert np.all(m.predict(X) > 0)
+
+    def test_generalizes_to_fresh_samples(self, smooth_2d):
+        X, y = smooth_2d
+        m = CPRModel(cells=16, rank=2, seed=0).fit(X[:1500], y[:1500])
+        assert m.score(X[1500:], y[1500:]) < 0.08
+
+    def test_mlogq2_model_fits_too(self, smooth_2d):
+        X, y = smooth_2d
+        m = CPRModel(cells=8, rank=2, loss="mlogq2", seed=0,
+                     max_sweeps=2, newton_iters=10).fit(X, y)
+        assert m.score(X, y) < 0.1
+
+
+class TestWithSpace:
+    def test_matmul_end_to_end(self, mm_data):
+        app, train, test = mm_data
+        m = CPRModel(space=app.space, cells=8, rank=4, seed=0).fit(train.X, train.y)
+        assert m.score(test.X, test.y) < 0.25
+        assert m.grid_.shape == (8, 8, 8)
+
+    def test_cells_dict(self, mm_data):
+        app, train, _ = mm_data
+        m = CPRModel(space=app.space, cells={"m": 4, "n": 8, "k": 4},
+                     rank=2, seed=0).fit(train.X, train.y)
+        assert m.grid_.shape == (4, 8, 4)
+
+    def test_categorical_space(self, fmm_data):
+        app, train, test = fmm_data
+        m = CPRModel(space=app.space, cells=6, rank=4, seed=0).fit(train.X, train.y)
+        assert np.all(m.predict(test.X) > 0)
+
+
+class TestValidation:
+    def test_unfitted_predict(self):
+        with pytest.raises(RuntimeError):
+            CPRModel().predict(np.ones((2, 3)))
+
+    def test_nonpositive_times(self, smooth_2d):
+        X, y = smooth_2d
+        y = y.copy()
+        y[0] = 0.0
+        with pytest.raises(ValueError):
+            CPRModel().fit(X, y)
+
+    def test_wrong_predict_columns(self, smooth_2d):
+        X, y = smooth_2d
+        m = CPRModel(cells=4, rank=1, seed=0).fit(X, y)
+        with pytest.raises(ValueError):
+            m.predict(np.ones((3, 5)))
+
+    def test_row_mismatch(self, smooth_2d):
+        X, y = smooth_2d
+        with pytest.raises(ValueError):
+            CPRModel().fit(X, y[:-1])
+
+
+class TestOutOfDomainPolicies:
+    def _fitted(self, smooth_2d, **kw):
+        X, y = smooth_2d
+        return CPRModel(cells=8, rank=2, seed=0, **kw).fit(X, y), X, y
+
+    def test_raise_policy(self, smooth_2d):
+        m, X, y = self._fitted(smooth_2d, out_of_domain="raise")
+        bad = np.array([[1e6, 10.0]])
+        with pytest.raises(ValueError):
+            m.predict(bad)
+
+    def test_clip_policy(self, smooth_2d):
+        m, X, y = self._fitted(smooth_2d, out_of_domain="clip")
+        far = np.array([[1e6, 10.0]])
+        edge = np.array([[X[:, 0].max(), 10.0]])
+        np.testing.assert_allclose(m.predict(far), m.predict(edge), rtol=1e-9)
+
+    def test_log_mse_auto_clips(self, smooth_2d):
+        m, X, y = self._fitted(smooth_2d)
+        pred = m.predict(np.array([[1e6, 10.0]]))
+        assert np.isfinite(pred).all() and pred[0] > 0
+
+    def test_extrapolate_rejected_for_log_mse(self, smooth_2d):
+        m, X, y = self._fitted(smooth_2d, out_of_domain="extrapolate")
+        with pytest.raises(ValueError):
+            m.predict(np.array([[1e6, 10.0]]))
+
+
+class TestExtrapolationModel:
+    def test_power_law_extrapolation(self):
+        """The Section 5.3 model should track y = x1^1.5 * x2 beyond range."""
+        gen = np.random.default_rng(0)
+        X = np.exp(gen.uniform(np.log(2.0), np.log(128.0), size=(3000, 2)))
+        y = 1e-4 * X[:, 0] ** 1.5 * X[:, 1]
+        m = CPRModel(cells=10, rank=2, loss="mlogq2", seed=0,
+                     max_sweeps=2, newton_iters=12).fit(X, y)
+        Xq = np.array([[512.0, 64.0], [1024.0, 16.0]])
+        yq = 1e-4 * Xq[:, 0] ** 1.5 * Xq[:, 1]
+        pred = m.predict(Xq)
+        assert np.all(np.abs(np.log(pred / yq)) < 0.5)
+
+    def test_multi_mode_extrapolation(self):
+        gen = np.random.default_rng(1)
+        X = np.exp(gen.uniform(np.log(2.0), np.log(128.0), size=(3000, 2)))
+        y = 1e-4 * X[:, 0] * X[:, 1] ** 2
+        m = CPRModel(cells=10, rank=2, loss="mlogq2", seed=0,
+                     max_sweeps=2, newton_iters=12).fit(X, y)
+        Xq = np.array([[512.0, 512.0]])
+        yq = 1e-4 * Xq[:, 0] * Xq[:, 1] ** 2
+        pred = m.predict(Xq)
+        assert abs(np.log(pred[0] / yq[0])) < 1.0
+
+    def test_extrapolated_positive(self, mm_data):
+        app, train, _ = mm_data
+        m = CPRModel(space=app.space, cells=6, rank=2, loss="mlogq2", seed=0,
+                     max_sweeps=1, newton_iters=8).fit(train.X, train.y)
+        Xq = train.X[:10].copy()
+        Xq[:, 0] = 1e5
+        assert np.all(m.predict(Xq) > 0)
+
+
+class TestSizeAccounting:
+    def test_n_parameters(self, smooth_2d):
+        X, y = smooth_2d
+        m = CPRModel(cells=8, rank=3, seed=0).fit(X, y)
+        assert m.n_parameters == 3 * (8 + 8)
+        assert m.factor_bytes == 8 * m.n_parameters
+
+    def test_size_bytes_small(self, smooth_2d):
+        X, y = smooth_2d
+        m = CPRModel(cells=8, rank=3, seed=0).fit(X, y)
+        # linear model size: far below the training set footprint
+        assert m.size_bytes < 8192
+
+    def test_unfitted_size_raises(self):
+        with pytest.raises(RuntimeError):
+            _ = CPRModel().n_parameters
+
+
+class TestPersistence:
+    def test_save_load_predict_identical(self, smooth_2d, tmp_path):
+        X, y = smooth_2d
+        m = CPRModel(cells=8, rank=2, seed=0).fit(X, y)
+        path = tmp_path / "cpr.pkl"
+        save_model(m, path)
+        m2 = load_model(path)
+        np.testing.assert_allclose(m2.predict(X[:50]), m.predict(X[:50]))
+
+
+class TestOptimizerChoices:
+    @pytest.mark.parametrize("opt,sweeps", [("als", 50), ("ccd", 120), ("sgd", 250)])
+    def test_all_ls_optimizers_work(self, smooth_2d, opt, sweeps):
+        X, y = smooth_2d
+        m = CPRModel(cells=8, rank=2, optimizer=opt, seed=0,
+                     max_sweeps=sweeps).fit(X, y)
+        assert m.score(X, y) < 0.25
+
+    def test_seed_reproducibility(self, smooth_2d):
+        X, y = smooth_2d
+        a = CPRModel(cells=8, rank=2, seed=5).fit(X, y).predict(X[:20])
+        b = CPRModel(cells=8, rank=2, seed=5).fit(X, y).predict(X[:20])
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,106 @@
+"""Tests for dataset generation and splits."""
+import numpy as np
+import pytest
+
+from repro.apps import Broadcast, MatMul
+from repro.datasets import (
+    Dataset,
+    extrapolation_split,
+    generate_dataset,
+    subsample,
+    threshold_mask,
+    PAPER_TEST_SIZES,
+)
+
+
+class TestDataset:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Dataset(np.ones((3, 2)), np.ones(4))
+
+    def test_len_and_select(self):
+        ds = Dataset(np.arange(10.0).reshape(5, 2), np.arange(5.0) + 1)
+        assert len(ds) == 5
+        sub = ds.select([0, 2])
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.y, [1.0, 3.0])
+
+
+class TestGenerate:
+    def test_deterministic(self):
+        app = MatMul()
+        a = generate_dataset(app, 64, seed=9)
+        b = generate_dataset(app, 64, seed=9)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        app = MatMul()
+        a = generate_dataset(app, 64, seed=1)
+        b = generate_dataset(app, 64, seed=2)
+        assert not np.allclose(a.X, b.X)
+
+    def test_sigma_override(self):
+        app = MatMul()
+        ds = generate_dataset(app, 64, seed=0, sigma=0.0)
+        np.testing.assert_allclose(ds.y, app.latent_time(ds.X))
+
+    def test_subsample(self):
+        app = MatMul()
+        ds = generate_dataset(app, 128, seed=0)
+        sub = subsample(ds, 32, seed=1)
+        assert len(sub) == 32
+        # every subsampled row exists in the pool
+        pool = {tuple(r) for r in ds.X}
+        assert all(tuple(r) in pool for r in sub.X)
+
+    def test_subsample_too_large(self):
+        app = MatMul()
+        ds = generate_dataset(app, 16, seed=0)
+        with pytest.raises(ValueError):
+            subsample(ds, 17)
+
+    def test_paper_test_sizes_recorded(self):
+        assert PAPER_TEST_SIZES["kripke"] == 8745
+        assert set(PAPER_TEST_SIZES) == {
+            "matmul", "qr", "bcast", "exafmm", "amg", "kripke"
+        }
+
+
+class TestSplits:
+    def test_threshold_mask(self):
+        app = MatMul()
+        ds = generate_dataset(app, 512, seed=0)
+        mask = threshold_mask(app.space, ds.X, {"m": (2048, 4096)})
+        col = app.space.column(ds.X, "m")
+        np.testing.assert_array_equal(mask, (col >= 2048) & (col <= 4096))
+
+    def test_extrapolation_split_disjoint_scales(self):
+        app = MatMul()
+        ds = generate_dataset(app, 4096, seed=0)
+        split = extrapolation_split(
+            app.space, ds, params=["m"], cutoff=512,
+            test_bounds={"m": (2048, 4096)},
+        )
+        assert np.all(app.space.column(split.train.X, "m") < 512)
+        te = app.space.column(split.test.X, "m")
+        assert np.all((te >= 2048) & (te <= 4096))
+        assert len(split.train) > 0 and len(split.test) > 0
+
+    def test_empty_train_raises(self):
+        app = MatMul()
+        ds = generate_dataset(app, 256, seed=0)
+        with pytest.raises(ValueError):
+            extrapolation_split(
+                app.space, ds, params=["m"], cutoff=1.0,
+                test_bounds={"m": (2048, 4096)},
+            )
+
+    def test_empty_test_raises(self):
+        app = Broadcast()
+        ds = generate_dataset(app, 128, seed=0)
+        with pytest.raises(ValueError):
+            extrapolation_split(
+                app.space, ds, params=["msg"], cutoff=2**20,
+                test_bounds={"msg": (2**30, 2**31)},
+            )

@@ -1,0 +1,153 @@
+"""Tests for the experiment harness, registry, and configuration grids."""
+import numpy as np
+import pytest
+
+from repro.apps import MatMul
+from repro.datasets import generate_dataset
+from repro.experiments import (
+    MODEL_NAMES,
+    get_dataset,
+    interpolation_experiment,
+    make_model,
+    resolve_scale,
+    tune_model,
+    tuning_grid,
+)
+from repro.experiments.config import bench_apps, train_sizes
+from repro.experiments.harness import evaluate_model
+
+
+class TestConfig:
+    def test_resolve_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert resolve_scale(None) == "smoke"
+
+    def test_resolve_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert resolve_scale(None) == "full"
+
+    def test_resolve_scale_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert resolve_scale("paper") == "paper"
+
+    def test_resolve_scale_invalid(self):
+        with pytest.raises(ValueError):
+            resolve_scale("huge")
+
+    @pytest.mark.parametrize("model", sorted(MODEL_NAMES))
+    def test_grids_nonempty_all_scales(self, model):
+        for scale in ("smoke", "full", "paper"):
+            grid = tuning_grid(model, scale)
+            assert len(grid) >= 1
+            assert all(isinstance(g, dict) for g in grid)
+
+    def test_paper_grids_match_section_604(self):
+        cpr = tuning_grid("cpr", "paper")
+        ranks = {g["rank"] for g in cpr}
+        cells = {g["cells"] for g in cpr}
+        assert ranks == {1, 2, 4, 8, 16, 32, 64}
+        assert cells == {4, 8, 16, 32, 64, 128, 256}
+        knn = tuning_grid("knn", "paper")
+        assert {g["k"] for g in knn} == {1, 2, 3, 4, 5, 6}
+
+    def test_unknown_model_grid(self):
+        with pytest.raises(KeyError):
+            tuning_grid("xgboost")
+
+    def test_bench_apps_and_sizes(self):
+        assert "matmul" in bench_apps("smoke")
+        assert len(bench_apps("paper")) == 6
+        assert train_sizes("smoke")[0] < train_sizes("paper")[-1]
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(MODEL_NAMES))
+    def test_make_and_fit_every_model(self, name, mm_data):
+        app, train, test = mm_data
+        grid = tuning_grid(name, "smoke")
+        model = make_model(name, grid[0], space=app.space, seed=0)
+        model.fit(train.X[:400], train.y[:400])
+        pred = model.predict(test.X)
+        assert pred.shape == (len(test.X),)
+        assert np.all(pred > 0)  # all pipelines predict positive times
+        assert model.size_bytes > 0
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            make_model("catboost")
+
+    def test_cpr_gets_space(self, mm_data):
+        app, train, _ = mm_data
+        m = make_model("cpr", {"cells": 4, "rank": 2}, space=app.space)
+        m.fit(train.X[:200], train.y[:200])
+        assert m.grid_.shape == (4, 4, 4)
+
+
+class TestHarness:
+    def test_dataset_cache(self):
+        a = get_dataset("matmul", 128, seed=3)
+        b = get_dataset("matmul", 128, seed=3)
+        assert a is b
+
+    def test_evaluate_model(self, mm_data):
+        app, train, test = mm_data
+        model = make_model("knn", {"k": 2}, space=app.space)
+        out = evaluate_model(model, train, test)
+        assert set(out) == {"error", "size_bytes", "fit_seconds"}
+        assert out["error"] > 0
+
+    def test_tune_model_picks_minimum(self, mm_data):
+        app, train, test = mm_data
+        res = tune_model(
+            "knn", train, test, space=app.space,
+            grid=[{"k": k} for k in (1, 3, 5)],
+        )
+        errors = [r[1] for r in res.results]
+        assert res.best_error == min(errors)
+        assert res.best_params in [{"k": k} for k in (1, 3, 5)]
+
+    def test_tune_time_budget_short_circuits(self, mm_data):
+        app, train, test = mm_data
+        res = tune_model(
+            "knn", train, test, space=app.space,
+            grid=[{"k": k} for k in range(1, 7)],
+            time_budget_s=0.0,
+        )
+        assert len(res.results) == 1  # stopped after the first config
+
+    def test_pareto_is_monotone(self, mm_data):
+        app, train, test = mm_data
+        res = tune_model(
+            "cpr", train, test, space=app.space,
+            grid=[{"cells": c, "rank": r} for c in (4, 8) for r in (1, 2, 4)],
+        )
+        pareto = res.pareto
+        sizes = [p[0] for p in pareto]
+        errs = [p[1] for p in pareto]
+        assert sizes == sorted(sizes)
+        assert errs == sorted(errs, reverse=True)
+
+    def test_interpolation_experiment(self):
+        out = interpolation_experiment(
+            "matmul", n_train=256, n_test=128, models=["knn", "mars"],
+            scale="smoke", seed=0,
+        )
+        assert set(out) == {"knn", "mars"}
+        assert all(np.isfinite(r.best_error) for r in out.values())
+
+
+class TestCLI:
+    def test_main_runs_table1(self, capsys, tmp_path):
+        from repro.experiments.__main__ import main
+
+        rc = main(["table1", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mlogq" in out and "exact" in out
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_main_rejects_unknown(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["figure99"])

@@ -1,0 +1,137 @@
+"""Tests for Perron rank-1 extraction and mode extrapolators (Section 5.3)."""
+import numpy as np
+import pytest
+
+from repro.core.extrap import ModeExtrapolator, perron_rank1
+from repro.core.grid import LogMode
+
+
+class TestPerronRank1:
+    def test_exact_rank1_recovery(self):
+        u = np.array([1.0, 2.0, 4.0])
+        v = np.array([3.0, 5.0])
+        U = np.outer(u, v)
+        uu, sigma, vv = perron_rank1(U)
+        np.testing.assert_allclose(np.outer(uu, vv) * sigma, U, rtol=1e-10)
+
+    def test_vectors_positive(self):
+        gen = np.random.default_rng(0)
+        U = np.exp(gen.normal(0, 1, size=(6, 4)))
+        u, sigma, v = perron_rank1(U)
+        assert np.all(u > 0) and np.all(v >= 0) and sigma > 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            perron_rank1(np.array([[1.0, -1.0], [1.0, 1.0]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            perron_rank1(np.ones(3))
+
+    def test_best_rank1_error_bound(self):
+        """sigma_1 u v^T is the optimal rank-1 approx (Eckart-Young)."""
+        gen = np.random.default_rng(1)
+        U = np.exp(gen.normal(0, 0.3, size=(8, 5)))
+        u, sigma, v = perron_rank1(U)
+        s = np.linalg.svd(U, compute_uv=False)
+        resid = np.linalg.norm(U - sigma * np.outer(u, v))
+        assert resid == pytest.approx(np.linalg.norm(s[1:]), rel=1e-8)
+
+
+class TestModeExtrapolator:
+    def _power_law_factor(self, exponent=1.5, I=12, R=3):
+        """Positive factor whose rows scale like midpoint^exponent."""
+        mode = LogMode("x", 2.0, 2048.0, I)
+        gen = np.random.default_rng(2)
+        col = np.exp(gen.normal(0, 0.1, size=R))
+        U = (mode.midpoints[:, None] ** exponent) * col[None, :]
+        return mode, U
+
+    def test_factor_rows_shape(self):
+        mode, U = self._power_law_factor()
+        ex = ModeExtrapolator.fit(mode, U)
+        rows = ex.factor_rows(np.array([4096.0, 8192.0]))
+        assert rows.shape == (2, 3)
+        assert np.all(rows > 0)
+
+    def test_power_law_extrapolates(self):
+        """Extrapolated rows should continue the power law (log-linear)."""
+        mode, U = self._power_law_factor(exponent=2.0)
+        ex = ModeExtrapolator.fit(mode, U)
+        r1 = ex.factor_rows(np.array([4096.0]))[0]
+        r2 = ex.factor_rows(np.array([8192.0]))[0]
+        # doubling x should multiply the scale by ~2^2 = 4
+        ratio = r2 / r1
+        np.testing.assert_allclose(ratio, 4.0, rtol=0.3)
+
+    def test_inside_domain_consistency(self):
+        """At grid midpoints the synthesized rows approximate U's rows."""
+        mode, U = self._power_law_factor(exponent=1.0)
+        ex = ModeExtrapolator.fit(mode, U)
+        rows = ex.factor_rows(mode.midpoints)
+        rel = np.abs(rows - U) / U
+        assert np.median(rel) < 0.25
+
+    def test_few_points_falls_back_to_line(self):
+        mode = LogMode("x", 2.0, 32.0, 2)
+        U = np.array([[1.0, 2.0], [4.0, 8.0]])
+        ex = ModeExtrapolator.fit(mode, U)
+        rows = ex.factor_rows(np.array([64.0]))
+        assert rows.shape == (1, 2)
+        assert np.all(rows > 0)
+        assert np.all(np.isfinite(rows))
+
+
+class TestSlopeEnvelope:
+    """The windowed-secant linear extension beyond the fitted range."""
+
+    def _noisy_power_factor(self, exponent=1.0, I=16, R=2, noise=0.15, seed=3):
+        from repro.core.grid import LogMode
+        import numpy as np
+
+        mode = LogMode("x", 32.0, 1024.0, I)
+        gen = np.random.default_rng(seed)
+        col = np.exp(gen.normal(0, 0.05, size=R))
+        jitter = np.exp(gen.normal(0, noise, size=I))
+        U = (mode.midpoints**exponent * jitter)[:, None] * col[None, :]
+        return mode, U
+
+    def test_extension_slope_near_trend(self):
+        import numpy as np
+
+        mode, U = self._noisy_power_factor(exponent=1.0)
+        ex = ModeExtrapolator.fit(mode, U)
+        # growth over 2 octaves beyond the domain ~ 4x for exponent 1
+        r1 = ex.factor_rows(np.array([2048.0]))[0]
+        r2 = ex.factor_rows(np.array([8192.0]))[0]
+        ratio = float((r2 / r1)[0])
+        assert 2.0 < ratio < 8.0, ratio
+
+    def test_extension_continuous_at_boundary(self):
+        import numpy as np
+
+        mode, U = self._noisy_power_factor()
+        ex = ModeExtrapolator.fit(mode, U)
+        h_hi = ex.h_hi
+        just_in = np.exp(h_hi - 1e-9)
+        just_out = np.exp(h_hi + 1e-9)
+        a = ex.factor_rows(np.array([just_in]))[0, 0]
+        b = ex.factor_rows(np.array([just_out]))[0, 0]
+        assert abs(np.log(a / b)) < 1e-6
+
+    def test_observed_mask_excludes_imputed_rows(self):
+        import numpy as np
+
+        mode, U = self._noisy_power_factor(noise=0.0)
+        # corrupt the last two rows as if they were flat imputations
+        U2 = U.copy()
+        U2[-2:] = U2[-3]
+        observed = np.ones(len(U2), dtype=bool)
+        observed[-2:] = False
+        with_mask = ModeExtrapolator.fit(mode, U2, observed=observed)
+        without = ModeExtrapolator.fit(mode, U2)
+        q = np.array([8192.0])
+        true_growth = ModeExtrapolator.fit(mode, U).factor_rows(q)[0, 0]
+        err_with = abs(np.log(with_mask.factor_rows(q)[0, 0] / true_growth))
+        err_without = abs(np.log(without.factor_rows(q)[0, 0] / true_growth))
+        assert err_with < err_without

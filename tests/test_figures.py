@@ -1,0 +1,94 @@
+"""Structural tests for the figure/table experiment drivers.
+
+Full-scale shape assertions live in the benchmark suite; here each driver
+is exercised at the smallest useful size and its output contract checked,
+plus the cheap scientific invariants (Figure 1 monotonicity, Table 1
+equivalences).
+"""
+import numpy as np
+import pytest
+
+from repro.experiments import figure1, figure8, table1
+from repro.experiments.figure1 import FUNCTIONS, build_matrix, svd_mlogq_curve
+
+
+class TestFigure1:
+    def test_output_contract(self):
+        out = figure1.run(seed=0)
+        assert out["headers"] == ["function", "rank", "mlogq_raw", "mlogq_log"]
+        assert len(out["rows"]) == 3 * 6
+
+    def test_log_transform_monotone_decrease(self):
+        """The paper's Figure 1 claim, exactly."""
+        ranks = [1, 2, 4, 8, 16]
+        for name in FUNCTIONS:
+            M = build_matrix(name, seed=0)
+            errs = svd_mlogq_curve(M, ranks, log_transform=True)
+            diffs = np.diff(errs)
+            assert np.all(diffs <= 1e-9), f"{name} not monotone: {errs}"
+
+    def test_raw_transform_fails_on_piecewise(self):
+        """Raw SVD stagnates/increases for the two-regime function f2."""
+        M = build_matrix("f2", seed=0)
+        raw = svd_mlogq_curve(M, [1, 2, 4, 8], log_transform=False)
+        log = svd_mlogq_curve(M, [1, 2, 4, 8], log_transform=True)
+        assert max(np.diff(raw)) > 0  # error increases at some rank
+        assert log[-1] < raw[-1]
+
+    def test_matrix_positive(self):
+        for name in FUNCTIONS:
+            assert np.all(build_matrix(name) > 0)
+
+    def test_noise_only_on_f1_f2(self):
+        a = build_matrix("f3", seed=0)
+        b = build_matrix("f3", seed=99)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(build_matrix("f1", 100, 0), build_matrix("f1", 100, 99))
+
+
+class TestTable1:
+    def test_exact_rows_machine_precision(self):
+        out = table1.run(seed=0)
+        for row in out["rows"]:
+            name, kind, eps_mag, direct, via, rel_gap = row
+            if kind == "exact":
+                assert rel_gap < 1e-9, row
+
+    def test_taylor_rows_tighten_with_eps(self):
+        out = table1.run(seed=0)
+        gaps = {}
+        for name, kind, eps_mag, direct, via, rel_gap in out["rows"]:
+            if kind == "taylor":
+                gaps.setdefault(name, {})[eps_mag] = rel_gap
+        for name, by_mag in gaps.items():
+            assert by_mag[0.01] < by_mag[0.5], name
+
+
+class TestFigure8Helpers:
+    def test_snap_pow2(self):
+        from repro.experiments.figure8 import _snap_pow2
+
+        col = np.array([1.0, 3.0, 100.0, 200.0])
+        snapped = _snap_pow2(col, 0, 7)
+        np.testing.assert_array_equal(snapped, [1.0, 4.0, 128.0, 128.0])
+
+    def test_build_pool_bcast_snapped(self):
+        app, X, y = figure8.build_pool("bcast", 512, seed=0)
+        nodes = np.unique(X[:, 0])
+        assert set(nodes) <= {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0}
+        assert np.all(y > 0)
+
+    def test_scenarios_well_formed(self):
+        for name, sc in figure8.SCENARIOS.items():
+            assert sc["app"] in ("matmul", "bcast")
+            assert len(sc["cutoffs"]) >= 2
+            assert set(sc["test"]) >= set()
+
+    def test_single_scenario_single_model_runs(self):
+        out = figure8.run(scale="smoke", seed=0, models=["knn"],
+                          scenarios=["mm_m"])
+        assert out["headers"][0] == "scenario"
+        assert len(out["rows"]) >= 2
+        for row in out["rows"]:
+            assert row[0] == "mm_m" and row[2] == "knn"
+            assert np.isfinite(row[3])

@@ -1,0 +1,195 @@
+"""Tests for domain discretization (modes and tensor grids)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import AMG, ExaFMM, MatMul
+from repro.core.grid import CategoricalMode, LogMode, TensorGrid, UniformMode
+
+
+class TestUniformMode:
+    def test_edges_and_midpoints(self):
+        m = UniformMode("x", 0.0, 10.0, 5)
+        np.testing.assert_allclose(m.edges, [0, 2, 4, 6, 8, 10])
+        np.testing.assert_allclose(m.midpoints, [1, 3, 5, 7, 9])
+
+    def test_cell_of_interior(self):
+        m = UniformMode("x", 0.0, 10.0, 5)
+        np.testing.assert_array_equal(m.cell_of([0.5, 2.5, 9.9]), [0, 1, 4])
+
+    def test_cell_of_clips_outside(self):
+        m = UniformMode("x", 0.0, 10.0, 5)
+        np.testing.assert_array_equal(m.cell_of([-5.0, 15.0]), [0, 4])
+
+    def test_right_edge_belongs_to_last_cell(self):
+        m = UniformMode("x", 0.0, 10.0, 5)
+        assert m.cell_of([10.0])[0] == 4
+
+    def test_transform_identity(self):
+        m = UniformMode("x", 0.0, 10.0, 2)
+        np.testing.assert_array_equal(m.transform([1.0, 2.0]), [1.0, 2.0])
+
+    def test_in_domain(self):
+        m = UniformMode("x", 2.0, 4.0, 2)
+        np.testing.assert_array_equal(
+            m.in_domain([1.9, 2.0, 3.0, 4.0, 4.1]),
+            [False, True, True, True, False],
+        )
+
+    def test_single_cell(self):
+        m = UniformMode("x", 0.0, 1.0, 1)
+        assert m.n_cells == 1
+        assert m.cell_of([0.5])[0] == 0
+
+    def test_invalid_cells(self):
+        with pytest.raises(ValueError):
+            UniformMode("x", 0.0, 1.0, 0)
+
+
+class TestLogMode:
+    def test_geometric_midpoints(self):
+        m = LogMode("x", 1.0, 16.0, 4)
+        np.testing.assert_allclose(m.edges, [1, 2, 4, 8, 16])
+        np.testing.assert_allclose(m.midpoints, [np.sqrt(2), np.sqrt(8), np.sqrt(32), np.sqrt(128)])
+
+    def test_transform_log(self):
+        m = LogMode("x", 1.0, 16.0, 2)
+        np.testing.assert_allclose(m.transform([np.e]), [1.0])
+
+    def test_transform_rejects_nonpositive(self):
+        m = LogMode("x", 1.0, 16.0, 2)
+        with pytest.raises(ValueError):
+            m.transform([-1.0])
+
+    def test_requires_positive_range(self):
+        with pytest.raises(ValueError):
+            LogMode("x", 0.0, 8.0, 2)
+
+    def test_cell_of_log_spaced(self):
+        m = LogMode("x", 1.0, 16.0, 4)
+        np.testing.assert_array_equal(m.cell_of([1.5, 3.0, 6.0, 12.0]), [0, 1, 2, 3])
+
+    def test_midpoints_h_increasing(self):
+        m = LogMode("x", 32.0, 4096.0, 16)
+        assert np.all(np.diff(m.midpoints_h) > 0)
+
+
+class TestCategoricalMode:
+    def test_basics(self):
+        m = CategoricalMode("alg", 4)
+        assert m.n_cells == 4 and not m.interpolates
+        np.testing.assert_array_equal(m.cell_of([0.0, 3.0]), [0, 3])
+
+    def test_out_of_range_raises(self):
+        m = CategoricalMode("alg", 3)
+        with pytest.raises(ValueError):
+            m.cell_of([3.0])
+
+    def test_rounds_float_indices(self):
+        m = CategoricalMode("alg", 3)
+        assert m.cell_of([1.4])[0] == 1
+
+    def test_in_domain(self):
+        m = CategoricalMode("alg", 3)
+        np.testing.assert_array_equal(m.in_domain([-1.0, 0.0, 2.0, 3.0]),
+                                      [False, True, True, False])
+
+
+class TestTensorGridFromSpace:
+    def test_matmul_all_log(self):
+        grid = TensorGrid.from_space(MatMul().space, 8)
+        assert grid.shape == (8, 8, 8)
+        assert all(isinstance(m, LogMode) for m in grid.modes)
+
+    def test_amg_mixed_modes(self):
+        grid = TensorGrid.from_space(AMG().space, 8)
+        # nx, ny, nz log; ct/rt/it categorical with their category counts
+        assert grid.shape[3:6] == (7, 10, 14)
+        assert isinstance(grid.modes[3], CategoricalMode)
+
+    def test_integer_param_caps_cells(self):
+        grid = TensorGrid.from_space(ExaFMM().space, 64)
+        tl = grid.modes[3]  # tree level 0..4 -> at most 5 cells
+        assert tl.n_cells <= 5
+
+    def test_config_params_linear(self):
+        grid = TensorGrid.from_space(ExaFMM().space, 8)
+        ppl = grid.modes[2]
+        assert isinstance(ppl, UniformMode)
+
+    def test_data_range_shrinks_domain(self):
+        space = MatMul().space
+        X = np.full((10, 3), 100.0)
+        X[:, 0] = np.linspace(50, 200, 10)
+        grid = TensorGrid.from_space(space, 4, X=X)
+        assert grid.modes[0].low == pytest.approx(50)
+        assert grid.modes[0].high == pytest.approx(200)
+
+    def test_cells_dict_and_list(self):
+        space = MatMul().space
+        g1 = TensorGrid.from_space(space, {"m": 4, "n": 8, "k": 16})
+        assert g1.shape == (4, 8, 16)
+        g2 = TensorGrid.from_space(space, [2, 3, 4])
+        assert g2.shape == (2, 3, 4)
+
+    def test_cells_list_wrong_length(self):
+        with pytest.raises(ValueError):
+            TensorGrid.from_space(MatMul().space, [2, 3])
+
+
+class TestTensorGrid:
+    def _grid(self):
+        return TensorGrid([
+            LogMode("a", 1.0, 64.0, 4),
+            UniformMode("b", 0.0, 1.0, 2),
+            CategoricalMode("c", 3),
+        ])
+
+    def test_shape_order_elements(self):
+        g = self._grid()
+        assert g.shape == (4, 2, 3)
+        assert g.order == 3
+        assert g.n_elements == 24
+
+    def test_cell_indices_shape(self):
+        g = self._grid()
+        X = np.array([[2.0, 0.2, 1.0], [50.0, 0.9, 2.0]])
+        idx = g.cell_indices(X)
+        assert idx.shape == (2, 3)
+        np.testing.assert_array_equal(idx[0], [0, 0, 1])
+        np.testing.assert_array_equal(idx[1], [3, 1, 2])
+
+    def test_in_domain_per_mode(self):
+        g = self._grid()
+        X = np.array([[0.5, 0.5, 0.0], [2.0, 2.0, 0.0]])
+        dom = g.in_domain(X)
+        assert not dom[0, 0] and dom[0, 1] and dom[0, 2]
+        assert dom[1, 0] and not dom[1, 1]
+
+    def test_wrong_columns(self):
+        with pytest.raises(ValueError):
+            self._grid().cell_indices(np.ones((3, 2)))
+
+    def test_empty_modes_rejected(self):
+        with pytest.raises(ValueError):
+            TensorGrid([])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    low=st.floats(0.1, 10.0),
+    ratio=st.floats(2.0, 1000.0),
+    n=st.integers(1, 64),
+    q=st.floats(0.0, 1.0),
+)
+def test_property_midpoint_maps_to_own_cell(low, ratio, n, q):
+    """Every midpoint must land in the cell it represents (log spacing)."""
+    m = LogMode("x", low, low * ratio, n)
+    cells = m.cell_of(m.midpoints)
+    np.testing.assert_array_equal(cells, np.arange(n))
+    # and an arbitrary in-range point lands in a valid cell
+    x = low * ratio**q
+    c = m.cell_of([x])[0]
+    assert 0 <= c < n
+    assert m.edges[c] <= x * (1 + 1e-12) and x <= m.edges[c + 1] * (1 + 1e-12)

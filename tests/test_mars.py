@@ -1,0 +1,115 @@
+"""Tests for the MARS implementation (forward pass, pruning, hinges)."""
+import numpy as np
+import pytest
+
+from repro.baselines.mars import MARSRegressor, _Basis, _hinge
+
+
+class TestHinge:
+    def test_positive_hinge(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_allclose(_hinge(x, 0.5, +1), [0.0, 0.0, 1.5])
+
+    def test_negative_hinge(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_allclose(_hinge(x, 0.5, -1), [1.5, 0.5, 0.0])
+
+    def test_reflected_pair_sums_to_abs(self):
+        gen = np.random.default_rng(0)
+        x = gen.uniform(-2, 2, 50)
+        c = 0.3
+        np.testing.assert_allclose(
+            _hinge(x, c, +1) + _hinge(x, c, -1), np.abs(x - c)
+        )
+
+
+class TestBasis:
+    def test_intercept_evaluates_ones(self):
+        X = np.zeros((5, 2))
+        np.testing.assert_allclose(_Basis().evaluate(X), 1.0)
+
+    def test_product_of_factors(self):
+        b = _Basis().with_factor(0, 0.0, +1).with_factor(1, 0.0, +1)
+        X = np.array([[1.0, 2.0], [1.0, -1.0]])
+        np.testing.assert_allclose(b.evaluate(X), [2.0, 0.0])
+
+    def test_degree_and_features(self):
+        b = _Basis().with_factor(0, 0.0, +1).with_factor(2, 1.0, -1)
+        assert b.degree == 2
+        assert b.features() == {0, 2}
+
+    def test_repr(self):
+        assert repr(_Basis()) == "1"
+        assert "x0" in repr(_Basis().with_factor(0, 0.5, +1))
+
+
+class TestMARSFitting:
+    def test_recovers_single_hinge(self):
+        gen = np.random.default_rng(1)
+        X = gen.uniform(-1, 1, size=(400, 1))
+        y = 3.0 * np.maximum(X[:, 0] - 0.2, 0.0) + 1.0
+        m = MARSRegressor(max_degree=1).fit(X, y)
+        assert np.mean((m.predict(X) - y) ** 2) < 1e-3 * max(np.var(y), 1.0)
+
+    def test_recovers_vshape(self):
+        gen = np.random.default_rng(2)
+        X = gen.uniform(-1, 1, size=(400, 1))
+        y = np.abs(X[:, 0])
+        m = MARSRegressor(max_degree=1).fit(X, y)
+        assert np.mean((m.predict(X) - y) ** 2) < 5e-3 * np.var(y)
+
+    def test_interaction_needs_degree2(self):
+        gen = np.random.default_rng(3)
+        X = gen.uniform(0, 1, size=(500, 2))
+        y = X[:, 0] * X[:, 1]
+        additive = MARSRegressor(max_degree=1).fit(X, y)
+        inter = MARSRegressor(max_degree=2).fit(X, y)
+        assert (
+            np.mean((inter.predict(X) - y) ** 2)
+            <= np.mean((additive.predict(X) - y) ** 2) + 1e-12
+        )
+
+    def test_max_terms_respected(self):
+        gen = np.random.default_rng(4)
+        X = gen.uniform(size=(300, 3))
+        y = np.sin(5 * X[:, 0]) + X[:, 1]
+        m = MARSRegressor(max_terms=7).fit(X, y)
+        assert m.n_terms <= 7
+
+    def test_pruning_reduces_terms_on_noise(self):
+        """Pure-noise targets should prune to (nearly) the intercept."""
+        gen = np.random.default_rng(5)
+        X = gen.uniform(size=(200, 2))
+        y = gen.standard_normal(200)
+        m = MARSRegressor(max_terms=15).fit(X, y)
+        assert m.n_terms <= 7
+
+    def test_feature_used_once_per_term(self):
+        gen = np.random.default_rng(6)
+        X = gen.uniform(size=(300, 2))
+        y = X[:, 0] ** 2  # tempting to nest x0 twice
+        m = MARSRegressor(max_degree=3).fit(X, y)
+        for basis in m.bases_:
+            feats = [f for f, _, _ in basis.factors]
+            assert len(feats) == len(set(feats))
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            MARSRegressor(max_degree=0)
+        with pytest.raises(ValueError):
+            MARSRegressor(max_terms=1)
+
+    def test_univariate_tiny_data(self):
+        """The Section 5.3 use case: few (midpoint, log-singular) pairs."""
+        x = np.linspace(0, 1, 6)[:, None]
+        y = 2.0 * x[:, 0] + 1.0
+        m = MARSRegressor(max_degree=1, max_terms=8).fit(x, y)
+        pred = m.predict(np.array([[2.0]]))  # extrapolate the line
+        assert np.isfinite(pred[0])
+
+    def test_size_state_compact(self):
+        gen = np.random.default_rng(7)
+        X = gen.uniform(size=(500, 3))
+        y = X[:, 0] + X[:, 1]
+        m = MARSRegressor().fit(X, y)
+        assert m.size_bytes < 10000  # far below the 12k-float training set

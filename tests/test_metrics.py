@@ -1,0 +1,179 @@
+"""Tests for the Table 1 error metrics."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics import (
+    METRICS,
+    epsilon_form,
+    lgmape,
+    log_q,
+    mae,
+    mape,
+    mlogq,
+    mlogq2,
+    mse,
+    relative_errors,
+    smape,
+)
+
+_y = np.array([1.0, 2.0, 0.5, 10.0])
+_m = np.array([1.1, 1.8, 0.55, 12.0])
+
+
+class TestBasicValues:
+    def test_perfect_predictions_zero_error(self):
+        for name in ("mape", "mae", "mse", "smape", "mlogq", "mlogq2"):
+            assert METRICS[name](_y, _y) == 0.0
+
+    def test_mape_value(self):
+        m = np.array([2.0])
+        y = np.array([1.0])
+        assert mape(m, y) == pytest.approx(1.0)
+
+    def test_mae_value(self):
+        assert mae(np.array([3.0, 1.0]), np.array([1.0, 1.0])) == pytest.approx(1.0)
+
+    def test_mse_value(self):
+        assert mse(np.array([3.0]), np.array([1.0])) == pytest.approx(4.0)
+
+    def test_smape_value(self):
+        # |3-1|/(3+1) * 2 = 1
+        assert smape(np.array([3.0]), np.array([1.0])) == pytest.approx(1.0)
+
+    def test_mlogq_value(self):
+        assert mlogq(np.array([np.e]), np.array([1.0])) == pytest.approx(1.0)
+
+    def test_mlogq2_value(self):
+        assert mlogq2(np.array([np.e**2]), np.array([1.0])) == pytest.approx(4.0)
+
+    def test_lgmape_finite_for_imperfect(self):
+        assert np.isfinite(lgmape(_m, _y))
+
+    def test_log_q_clips_nonpositive_predictions(self):
+        q = log_q(np.array([-1.0, 0.0]), np.array([1.0, 1.0]))
+        assert np.all(np.isfinite(q))
+        assert np.all(q < 0)
+
+    def test_relative_errors_definition(self):
+        eps = relative_errors(_m, _y)
+        np.testing.assert_allclose(eps, _m / _y - 1.0)
+
+
+class TestScaleIndependence:
+    """Only MLogQ/MLogQ2 penalize a*y and y/a equally (paper Section 2.2)."""
+
+    @pytest.mark.parametrize("a", [2.0, 5.0, 10.0])
+    def test_mlogq_symmetric_under_over(self, a):
+        y = np.array([1.0, 3.0, 0.2])
+        assert mlogq(a * y, y) == pytest.approx(mlogq(y / a, y))
+
+    @pytest.mark.parametrize("a", [2.0, 5.0])
+    def test_mlogq2_symmetric_under_over(self, a):
+        y = np.array([1.0, 3.0, 0.2])
+        assert mlogq2(a * y, y) == pytest.approx(mlogq2(y / a, y))
+
+    def test_mape_is_not_symmetric(self):
+        y = np.array([1.0])
+        assert mape(2.0 * y, y) != pytest.approx(mape(y / 2.0, y))
+
+    @pytest.mark.parametrize("scale", [1e-6, 1.0, 1e6])
+    def test_mlogq_invariant_to_common_rescaling(self, scale):
+        assert mlogq(scale * _m, scale * _y) == pytest.approx(mlogq(_m, _y))
+
+
+class TestTable1Equivalences:
+    """Rows 1-5 exact; rows 6-7 Taylor (match as eps -> 0)."""
+
+    @pytest.mark.parametrize("name", ["mape", "mae", "mse", "smape", "lgmape"])
+    def test_exact_rows(self, name):
+        gen = np.random.default_rng(0)
+        y = np.exp(gen.uniform(-5, 5, size=200))
+        eps = gen.uniform(-0.9, 2.0, size=200)
+        m = y * (1 + eps)
+        direct = METRICS[name](m, y)
+        via = epsilon_form(name, eps, y)
+        assert direct == pytest.approx(via, rel=1e-12)
+
+    @pytest.mark.parametrize("name", ["mlogq", "mlogq2"])
+    def test_taylor_rows_tighten(self, name):
+        # One-sided eps: with symmetric +-eps the O(eps^2) per-sample gaps
+        # cancel in the mean, masking the Taylor-order comparison.
+        gen = np.random.default_rng(1)
+        y = np.exp(gen.uniform(-5, 5, size=500))
+        gaps = []
+        for mag in (0.3, 0.03, 0.003):
+            eps = gen.uniform(0.1 * mag, mag, size=500)
+            m = y * (1 + eps)
+            direct = METRICS[name](m, y)
+            via = epsilon_form(name, eps, y)
+            gaps.append(abs(direct - via) / max(direct, 1e-300))
+        assert gaps[0] > gaps[1] > gaps[2]
+        assert gaps[2] < 1e-2
+
+    def test_epsilon_form_unknown_metric(self):
+        with pytest.raises(KeyError):
+            epsilon_form("nope", np.zeros(3), np.ones(3))
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mlogq(np.ones(3), np.ones(4))
+
+    def test_nonpositive_targets_rejected(self):
+        with pytest.raises(ValueError):
+            mlogq(np.ones(2), np.array([1.0, 0.0]))
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValueError):
+            mape(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_smape_zero_denominator(self):
+        with pytest.raises(ValueError):
+            smape(np.array([-1.0]), np.array([1.0]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    y=hnp.arrays(
+        float, st.integers(1, 30),
+        elements=st.floats(1e-6, 1e6, allow_nan=False, allow_infinity=False),
+    ),
+    a=st.floats(1.1, 100.0),
+)
+def test_property_mlogq_scale_independence(y, a):
+    assert mlogq(a * y, y) == pytest.approx(mlogq(y / a, y), rel=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    y=hnp.arrays(
+        float, st.integers(1, 30),
+        elements=st.floats(1e-6, 1e6, allow_nan=False, allow_infinity=False),
+    ),
+    eps=st.floats(-0.5, 2.0),
+)
+def test_property_exact_epsilon_rows(y, eps):
+    e = np.full_like(y, eps)
+    m = y * (1 + eps)
+    for name in ("mape", "mae", "smape"):
+        assert METRICS[name](m, y) == pytest.approx(
+            epsilon_form(name, e, y), rel=1e-9, abs=1e-12
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    y=hnp.arrays(
+        float, st.integers(2, 20),
+        elements=st.floats(1e-3, 1e3, allow_nan=False, allow_infinity=False),
+    )
+)
+def test_property_mlogq2_ge_mlogq_squared(y):
+    """Jensen: mean of squares >= square of mean of |logq|."""
+    gen = np.random.default_rng(0)
+    m = y * np.exp(gen.normal(0, 0.3, size=y.shape))
+    assert mlogq2(m, y) >= mlogq(m, y) ** 2 - 1e-12

@@ -1,0 +1,74 @@
+"""Tests for the FeatureMap baseline preprocessing."""
+import numpy as np
+import pytest
+
+from repro.apps import AMG, MatMul
+from repro.baselines import FeatureMap
+
+
+class TestNumericOnly:
+    def test_log_columns_standardized(self):
+        fm = FeatureMap(MatMul().space)
+        X = MatMul().space.sample(500, np.random.default_rng(0))
+        F = fm.fit_transform(X)
+        assert F.shape == (500, 3)
+        np.testing.assert_allclose(F.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(F.std(axis=0), 1.0, atol=1e-9)
+
+    def test_transform_consistent(self):
+        space = MatMul().space
+        fm = FeatureMap(space)
+        X = space.sample(100, np.random.default_rng(1))
+        fm.fit(X)
+        F1 = fm.transform(X[:10])
+        F2 = fm.fit_transform(X)[:10]
+        np.testing.assert_allclose(F1, F2)
+
+    def test_no_space_logs_positive_columns(self):
+        fm = FeatureMap(None)
+        X = np.column_stack([np.exp(np.linspace(0, 5, 50)), np.linspace(-1, 1, 50)])
+        F = fm.fit_transform(X)
+        # first column was logged -> linear in index; z-scored either way
+        assert np.allclose(np.diff(F[:, 0]), np.diff(F[:, 0])[0])
+
+    def test_wrong_columns(self):
+        space = MatMul().space
+        fm = FeatureMap(space).fit(space.sample(20, np.random.default_rng(2)))
+        with pytest.raises(ValueError):
+            fm.transform(np.ones((5, 7)))
+
+
+class TestCategorical:
+    def test_one_hot_width(self):
+        space = AMG().space
+        fm = FeatureMap(space)
+        X = space.sample(200, np.random.default_rng(3))
+        F = fm.fit_transform(X)
+        # 5 numeric + 7 + 10 + 14 one-hot columns
+        assert F.shape[1] == 5 + 7 + 10 + 14
+        assert fm.n_features_out == F.shape[1]
+
+    def test_one_hot_is_indicator(self):
+        space = AMG().space
+        fm = FeatureMap(space)
+        X = space.sample(50, np.random.default_rng(4))
+        F = fm.fit_transform(X)
+        block = F[:, 3:10]  # ct block follows the nx/ny/nz columns
+        np.testing.assert_allclose(block.sum(axis=1), 1.0)
+        assert set(np.unique(block)) <= {0.0, 1.0}
+
+    def test_index_mode(self):
+        space = AMG().space
+        fm = FeatureMap(space, one_hot=False)
+        X = space.sample(50, np.random.default_rng(5))
+        F = fm.fit_transform(X)
+        assert F.shape[1] == space.dimension
+
+    def test_invalid_category_rejected(self):
+        space = AMG().space
+        fm = FeatureMap(space)
+        X = space.sample(10, np.random.default_rng(6))
+        fm.fit(X)
+        X[0, 3] = 99.0
+        with pytest.raises(ValueError):
+            fm.transform(X)

@@ -1,0 +1,119 @@
+"""Cross-cutting property-based tests on model-level invariants."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CPRModel
+from repro.core.grid import LogMode, TensorGrid, UniformMode
+from repro.core.tensor import ObservedTensor
+
+
+def _make_data(seed, n=400):
+    gen = np.random.default_rng(seed)
+    X = np.exp(gen.uniform(0.0, np.log(64.0), size=(n, 2)))
+    y = 1e-3 * X[:, 0] ** 1.2 * X[:, 1] ** 0.7 * np.exp(
+        gen.normal(0, 0.02, size=n)
+    )
+    return X, y
+
+
+class TestModelInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_sample_order_invariance(self, seed):
+        """Fitting on a permutation of the data gives the same model."""
+        X, y = _make_data(seed)
+        gen = np.random.default_rng(seed + 1)
+        perm = gen.permutation(len(y))
+        a = CPRModel(cells=6, rank=2, seed=0).fit(X, y)
+        b = CPRModel(cells=6, rank=2, seed=0).fit(X[perm], y[perm])
+        np.testing.assert_allclose(a.predict(X[:30]), b.predict(X[:30]), rtol=1e-8)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 100),
+        scale=st.floats(1e-3, 1e3),
+    )
+    def test_time_unit_equivariance(self, seed, scale):
+        """Rescaling execution times rescales predictions exactly.
+
+        The log_mse model absorbs a global factor into its offset, so
+        predictions must scale linearly with the unit of time (seconds vs
+        milliseconds must not change model quality).
+        """
+        X, y = _make_data(seed)
+        a = CPRModel(cells=6, rank=2, seed=0).fit(X, y)
+        b = CPRModel(cells=6, rank=2, seed=0).fit(X, y * scale)
+        np.testing.assert_allclose(
+            b.predict(X[:30]), scale * a.predict(X[:30]), rtol=1e-7
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_predictions_always_positive_finite(self, seed):
+        X, y = _make_data(seed)
+        m = CPRModel(cells=6, rank=2, seed=seed).fit(X, y)
+        gen = np.random.default_rng(seed)
+        Xq = np.exp(gen.uniform(0.0, np.log(64.0), size=(100, 2)))
+        pred = m.predict(Xq)
+        assert np.all(pred > 0) and np.all(np.isfinite(pred))
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 50))
+    def test_mlogq2_model_positive_everywhere(self, seed):
+        X, y = _make_data(seed)
+        m = CPRModel(cells=5, rank=2, loss="mlogq2", max_sweeps=1,
+                     newton_iters=6, seed=seed).fit(X, y)
+        gen = np.random.default_rng(seed)
+        # include out-of-domain queries (extrapolation path)
+        Xq = np.exp(gen.uniform(0.0, np.log(512.0), size=(60, 2)))
+        pred = m.predict(Xq)
+        assert np.all(pred > 0) and np.all(np.isfinite(pred))
+
+
+class TestTensorInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        cells=st.integers(2, 12),
+        n=st.integers(1, 200),
+    )
+    def test_density_and_mass(self, seed, cells, n):
+        gen = np.random.default_rng(seed)
+        grid = TensorGrid([
+            LogMode("a", 1.0, 100.0, cells),
+            UniformMode("b", 0.0, 1.0, cells),
+        ])
+        X = np.column_stack([
+            np.exp(gen.uniform(0, np.log(100.0), n)),
+            gen.uniform(0, 1, n),
+        ])
+        y = np.exp(gen.normal(0, 1, n))
+        t = ObservedTensor.from_data(grid, X, y)
+        assert 0 < t.density <= 1
+        assert t.nnz <= min(n, grid.n_elements)
+        assert float(t.values @ t.counts) == pytest.approx(float(y.sum()))
+        # every cell mean lies within the range of its contributors
+        assert t.values.min() >= y.min() - 1e-12
+        assert t.values.max() <= y.max() + 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), split=st.floats(0.1, 0.9))
+    def test_merge_associativity(self, seed, split):
+        gen = np.random.default_rng(seed)
+        grid = TensorGrid([
+            UniformMode("a", 0.0, 1.0, 4),
+            UniformMode("b", 0.0, 1.0, 4),
+        ])
+        n = 120
+        X = gen.uniform(0, 1, size=(n, 2))
+        y = np.exp(gen.normal(0, 1, n))
+        k = max(1, min(n - 1, int(split * n)))
+        t1 = ObservedTensor.from_data(grid, X[:k], y[:k])
+        t2 = ObservedTensor.from_data(grid, X[k:], y[k:])
+        full = ObservedTensor.from_data(grid, X, y)
+        merged = t1.merge(t2)
+        np.testing.assert_allclose(
+            merged.dense(fill=0.0), full.dense(fill=0.0), rtol=1e-10
+        )

@@ -1,0 +1,136 @@
+"""Tests for sparse-grid basis construction and regression."""
+import numpy as np
+import pytest
+
+from repro.baselines.sgr import SparseGridBasis, SparseGridRegressor, level_vectors
+
+
+class TestLevelVectors:
+    def test_1d(self):
+        assert level_vectors(1, 3) == [(1,), (2,), (3,)]
+
+    def test_2d_count(self):
+        # |l|_1 <= level + d - 1 = 4 with l_j >= 1: (1,1),(1,2),(2,1),(1,3),(2,2),(3,1)
+        assert len(level_vectors(2, 3)) == 6
+
+    def test_sum_constraint(self):
+        for l in level_vectors(3, 4):
+            assert sum(l) <= 4 + 3 - 1
+            assert all(lj >= 1 for lj in l)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            level_vectors(0, 1)
+
+
+class TestSparseGridBasis:
+    def test_regular_point_count_2d(self):
+        # level-3 regular sparse grid in 2D: 17 points
+        assert len(SparseGridBasis.regular(2, 3)) == 17
+
+    def test_regular_point_count_formula(self):
+        # sum over level vectors of prod 2^(l_j - 1)
+        for d, n in ((2, 4), (3, 3)):
+            basis = SparseGridBasis.regular(d, n)
+            expected = sum(
+                int(np.prod([2 ** (lj - 1) for lj in l]))
+                for l in level_vectors(d, n)
+            )
+            assert len(basis) == expected
+
+    def test_max_points_guard(self):
+        with pytest.raises(MemoryError):
+            SparseGridBasis.regular(6, 8, max_points=1000)
+
+    def test_points_in_unit_cube(self):
+        basis = SparseGridBasis.regular(3, 4)
+        pts = basis.points()
+        assert np.all((pts > 0) & (pts < 1))
+
+    def test_no_duplicates(self):
+        basis = SparseGridBasis.regular(2, 4)
+        keys = {(tuple(l), tuple(i))
+                for l, i in zip(basis.levels, basis.indices)}
+        assert len(keys) == len(basis)
+
+    def test_add_rejects_invalid(self):
+        basis = SparseGridBasis(2)
+        with pytest.raises(ValueError):
+            basis.add((1, 1), (2, 1))  # even index
+        with pytest.raises(ValueError):
+            basis.add((1, 1), (3, 1))  # index > 2^l - 1
+
+    def test_children_levels(self):
+        basis = SparseGridBasis.regular(2, 2)
+        kids = basis.children_of(0)
+        assert len(kids) == 4
+        for l, i in kids:
+            assert sum(l) == sum(basis._levels[0]) + 1
+
+    def test_evaluate_partition_at_level1(self):
+        """The level-(1,..,1) hat is 1 at the cube center."""
+        basis = SparseGridBasis.regular(2, 1)
+        Phi = basis.evaluate(np.array([[0.5, 0.5]]))
+        assert Phi.shape == (1, 1)
+        assert Phi[0, 0] == pytest.approx(1.0)
+
+    def test_evaluate_at_grid_points_is_lower_triangular_ish(self):
+        """phi_b(x_b) == 1 at each basis' own grid point."""
+        basis = SparseGridBasis.regular(2, 3)
+        Phi = basis.evaluate(basis.points()).toarray()
+        np.testing.assert_allclose(np.diag(Phi), 1.0)
+
+    def test_evaluate_row_sparsity(self):
+        basis = SparseGridBasis.regular(2, 4)
+        Phi = basis.evaluate(np.random.default_rng(0).uniform(size=(50, 2)))
+        # at most one active basis per level vector
+        assert Phi.getnnz(axis=1).max() <= len(level_vectors(2, 4))
+
+
+class TestSparseGridRegressor:
+    def test_fits_smooth_function(self):
+        gen = np.random.default_rng(0)
+        X = gen.uniform(size=(800, 2))
+        y = np.sin(np.pi * X[:, 0]) * X[:, 1]
+        m = SparseGridRegressor(level=5).fit(X, y)
+        assert np.mean((m.predict(X) - y) ** 2) < 0.01 * np.var(y)
+
+    def test_refinement_adds_points_and_improves_fit(self):
+        gen = np.random.default_rng(1)
+        X = gen.uniform(size=(800, 2))
+        y = np.where(X[:, 0] > 0.7, 5.0, 0.0) + X[:, 1]  # localized feature
+        base = SparseGridRegressor(level=3, refinements=0).fit(X, y)
+        refined = SparseGridRegressor(level=3, refinements=4,
+                                      refine_points=8).fit(X, y)
+        assert refined.n_grid_points > base.n_grid_points
+        mse_b = np.mean((base.predict(X) - y) ** 2)
+        mse_r = np.mean((refined.predict(X) - y) ** 2)
+        assert mse_r < mse_b
+
+    def test_predict_clips_out_of_range(self):
+        gen = np.random.default_rng(2)
+        X = gen.uniform(size=(200, 2))
+        y = X[:, 0]
+        m = SparseGridRegressor(level=3).fit(X, y)
+        pred = m.predict(np.array([[10.0, -5.0]]))
+        assert np.isfinite(pred[0])
+
+    def test_level_one_is_coarse(self):
+        gen = np.random.default_rng(3)
+        X = gen.uniform(size=(100, 2))
+        y = X[:, 0]
+        m = SparseGridRegressor(level=1).fit(X, y)
+        assert m.n_grid_points == 1
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            SparseGridRegressor(level=0)
+        with pytest.raises(ValueError):
+            SparseGridRegressor(refinements=-1)
+
+    def test_size_state(self):
+        gen = np.random.default_rng(4)
+        X = gen.uniform(size=(300, 2))
+        y = X[:, 0]
+        m = SparseGridRegressor(level=4).fit(X, y)
+        assert 0 < m.size_bytes < 100000

@@ -1,0 +1,98 @@
+"""Tests for observed-tensor assembly (cell means over Omega)."""
+import numpy as np
+import pytest
+
+from repro.core.grid import LogMode, TensorGrid, UniformMode
+from repro.core.tensor import ObservedTensor
+
+
+def _grid():
+    return TensorGrid([
+        UniformMode("a", 0.0, 4.0, 4),
+        UniformMode("b", 0.0, 4.0, 4),
+    ])
+
+
+class TestFromData:
+    def test_cell_means(self):
+        g = _grid()
+        X = np.array([[0.5, 0.5], [0.6, 0.7], [3.5, 3.5]])
+        y = np.array([1.0, 3.0, 10.0])
+        t = ObservedTensor.from_data(g, X, y)
+        assert t.nnz == 2
+        dense = t.dense()
+        assert dense[0, 0] == pytest.approx(2.0)  # mean of 1 and 3
+        assert dense[3, 3] == pytest.approx(10.0)
+
+    def test_counts(self):
+        g = _grid()
+        X = np.array([[0.5, 0.5], [0.6, 0.7], [3.5, 3.5]])
+        y = np.array([1.0, 3.0, 10.0])
+        t = ObservedTensor.from_data(g, X, y)
+        assert sorted(t.counts.tolist()) == [1, 2]
+
+    def test_density(self):
+        g = _grid()
+        X = np.array([[0.5, 0.5], [3.5, 3.5]])
+        t = ObservedTensor.from_data(g, X, np.array([1.0, 2.0]))
+        assert t.density == pytest.approx(2 / 16)
+
+    def test_rejects_nonpositive_times(self):
+        g = _grid()
+        with pytest.raises(ValueError):
+            ObservedTensor.from_data(g, np.array([[0.5, 0.5]]), np.array([0.0]))
+
+    def test_rejects_empty(self):
+        g = _grid()
+        with pytest.raises(ValueError):
+            ObservedTensor.from_data(g, np.empty((0, 2)), np.empty(0))
+
+    def test_length_mismatch(self):
+        g = _grid()
+        with pytest.raises(ValueError):
+            ObservedTensor.from_data(g, np.ones((2, 2)), np.ones(3))
+
+    def test_log_values(self):
+        g = _grid()
+        t = ObservedTensor.from_data(g, np.array([[0.5, 0.5]]), np.array([np.e]))
+        np.testing.assert_allclose(t.log_values(), [1.0])
+
+    def test_indices_within_shape(self):
+        g = TensorGrid([LogMode("a", 1, 1024, 8), UniformMode("b", 0, 1, 8)])
+        gen = np.random.default_rng(0)
+        X = np.column_stack([
+            np.exp(gen.uniform(0, np.log(1024), 500)),
+            gen.uniform(0, 1, 500),
+        ])
+        t = ObservedTensor.from_data(g, X, np.ones(500))
+        assert np.all(t.indices >= 0)
+        assert np.all(t.indices < np.array(g.shape))
+
+    def test_mean_invariant_to_order(self):
+        g = _grid()
+        X = np.array([[0.5, 0.5], [0.6, 0.7], [3.5, 3.5]])
+        y = np.array([1.0, 3.0, 10.0])
+        t1 = ObservedTensor.from_data(g, X, y)
+        perm = [2, 0, 1]
+        t2 = ObservedTensor.from_data(g, X[perm], y[perm])
+        np.testing.assert_allclose(
+            t1.dense(fill=0.0), t2.dense(fill=0.0)
+        )
+
+    def test_dense_refuses_huge(self):
+        g = TensorGrid([LogMode("x", 1, 2, 4096), LogMode("y", 1, 2, 4096),
+                        LogMode("z", 1, 2, 4096)])
+        t = ObservedTensor.from_data(
+            g, np.array([[1.5, 1.5, 1.5]]), np.array([1.0])
+        )
+        with pytest.raises(MemoryError):
+            t.dense()
+
+    def test_total_mass_conserved(self):
+        """sum(values * counts) == sum(y)."""
+        g = _grid()
+        gen = np.random.default_rng(3)
+        X = gen.uniform(0, 4, size=(200, 2))
+        y = gen.uniform(0.5, 2.0, size=200)
+        t = ObservedTensor.from_data(g, X, y)
+        assert float(t.values @ t.counts) == pytest.approx(float(y.sum()))

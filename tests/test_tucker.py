@@ -1,0 +1,156 @@
+"""Tests for Tucker completion and the TuckerModel (paper future work)."""
+import numpy as np
+import pytest
+
+from repro.core import CPRModel, TuckerModel
+from repro.core.completion.tucker import TuckerFactors, complete_tucker
+
+
+def _tucker_dense(shape, ranks, seed=0):
+    gen = np.random.default_rng(seed)
+    core = gen.normal(size=ranks)
+    Us = [gen.normal(size=(I, R)) for I, R in zip(shape, ranks)]
+    subs = "abc"[: len(shape)]
+    spec = subs + "," + ",".join(f"{ij}{r}" for ij, r in zip("ijk", subs))
+    dense = np.einsum(f"{spec}->ijk"[: len(spec) + 5], core, *Us)
+    return core, Us, dense
+
+
+def _observe_all(shape):
+    grids = np.meshgrid(*[np.arange(I) for I in shape], indexing="ij")
+    return np.stack([g.ravel() for g in grids], axis=1)
+
+
+class TestTuckerFactors:
+    def test_eval_matches_einsum(self):
+        core, Us, dense = _tucker_dense((5, 4, 3), (2, 2, 2), seed=1)
+        model = TuckerFactors(core, Us)
+        idx = _observe_all(dense.shape)
+        np.testing.assert_allclose(model.eval_at(idx), dense.ravel(), rtol=1e-10)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TuckerFactors(np.zeros((2, 2)), [np.zeros((3, 2))])
+        with pytest.raises(ValueError):
+            TuckerFactors(np.zeros((2, 2)), [np.zeros((3, 2)), np.zeros((3, 3))])
+
+    def test_size_bytes(self):
+        core, Us, _ = _tucker_dense((5, 4, 3), (2, 2, 2))
+        model = TuckerFactors(core, Us)
+        assert model.size_bytes() == 8 * (8 + 10 + 8 + 6)
+
+
+class TestCompleteTucker:
+    def test_exact_recovery(self):
+        _, _, dense = _tucker_dense((6, 5, 4), (2, 3, 2), seed=2)
+        idx = _observe_all(dense.shape)
+        res = complete_tucker(dense.shape, idx, dense.ravel(), rank=(2, 3, 2),
+                              regularization=1e-10, max_sweeps=100, tol=1e-14,
+                              seed=0)
+        pred = res.factors[0].eval_at(idx)
+        np.testing.assert_allclose(pred, dense.ravel(),
+                                   atol=1e-6 * np.abs(dense).max())
+
+    def test_generalizes_partially_observed(self):
+        _, _, dense = _tucker_dense((8, 7, 6), (2, 2, 2), seed=3)
+        gen = np.random.default_rng(4)
+        idx_all = _observe_all(dense.shape)
+        sel = gen.choice(len(idx_all), size=220, replace=False)
+        res = complete_tucker(dense.shape, idx_all[sel], dense.ravel()[sel],
+                              rank=(2, 2, 2), regularization=1e-8,
+                              max_sweeps=200, tol=1e-14, seed=1)
+        pred = res.factors[0].eval_at(idx_all)
+        rel = np.abs(pred - dense.ravel()) / (np.abs(dense.ravel()) + 1e-9)
+        assert np.median(rel) < 0.05
+
+    def test_rank_broadcast_and_cap(self):
+        _, _, dense = _tucker_dense((4, 3, 5), (2, 2, 2), seed=5)
+        idx = _observe_all(dense.shape)
+        res = complete_tucker(dense.shape, idx, dense.ravel(), rank=10,
+                              max_sweeps=3, seed=0)
+        assert res.factors[0].ranks == (4, 3, 5)  # capped at mode dims
+
+    def test_core_size_guard(self):
+        with pytest.raises(MemoryError):
+            complete_tucker((8,) * 8, np.zeros((1, 8), dtype=np.intp),
+                            np.ones(1), rank=8, max_core_size=10000)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            complete_tucker((4,), np.zeros((1, 1), dtype=np.intp), np.ones(1),
+                            rank=2)
+        with pytest.raises(ValueError):
+            complete_tucker((4, 4), np.zeros((0, 2), dtype=np.intp),
+                            np.ones(0), rank=2)
+
+
+class TestTuckerModel:
+    def test_fits_smooth_surface(self, smooth_2d):
+        X, y = smooth_2d
+        m = TuckerModel(cells=12, rank=3, seed=0).fit(X, y)
+        assert m.score(X, y) < 0.06
+
+    def test_comparable_to_cpr_low_dim(self, mm_data):
+        app, train, test = mm_data
+        cpr = CPRModel(space=app.space, cells=8, rank=4, seed=0).fit(train.X, train.y)
+        tuck = TuckerModel(space=app.space, cells=8, rank=4, seed=0).fit(train.X, train.y)
+        assert tuck.score(test.X, test.y) < 2.0 * cpr.score(test.X, test.y)
+
+    def test_core_grows_size(self, mm_data):
+        app, train, _ = mm_data
+        tuck = TuckerModel(space=app.space, cells=8, rank=4, seed=0).fit(train.X, train.y)
+        # 4^3 core + 3 * 8*4 factors
+        assert tuck.n_parameters == 64 + 96
+
+    def test_no_extrapolation(self, smooth_2d):
+        X, y = smooth_2d
+        m = TuckerModel(cells=8, rank=2, seed=0,
+                        out_of_domain="extrapolate").fit(X, y)
+        with pytest.raises(ValueError):
+            m.predict(np.array([[1e6, 10.0]]))
+
+    def test_repr(self):
+        assert "TuckerModel" in repr(TuckerModel(rank=3))
+
+
+class TestStreaming:
+    def test_merge_equals_batch(self, mm_data):
+        """partial_fit's tensor merge must equal binning the union."""
+        from repro.core.grid import TensorGrid
+        from repro.core.tensor import ObservedTensor
+
+        app, train, _ = mm_data
+        grid = TensorGrid.from_space(app.space, 8, X=train.X)
+        half = len(train.X) // 2
+        t1 = ObservedTensor.from_data(grid, train.X[:half], train.y[:half])
+        t2 = ObservedTensor.from_data(grid, train.X[half:], train.y[half:])
+        merged = t1.merge(t2)
+        full = ObservedTensor.from_data(grid, train.X, train.y)
+        np.testing.assert_allclose(
+            merged.dense(fill=0.0), full.dense(fill=0.0), rtol=1e-12
+        )
+        np.testing.assert_allclose(merged.counts.sum(), full.counts.sum())
+
+    def test_partial_fit_improves_model(self, mm_data):
+        app, train, test = mm_data
+        half = len(train.X) // 2
+        m = CPRModel(space=app.space, cells=8, rank=4, seed=0).fit(
+            train.X[:half], train.y[:half]
+        )
+        err_half = m.score(test.X, test.y)
+        m.partial_fit(train.X[half:], train.y[half:], max_sweeps=20)
+        err_full = m.score(test.X, test.y)
+        assert err_full <= err_half * 1.15  # more data must not hurt much
+
+    def test_partial_fit_requires_fit(self, mm_data):
+        app, train, _ = mm_data
+        with pytest.raises(RuntimeError):
+            CPRModel(space=app.space).partial_fit(train.X, train.y)
+
+    def test_partial_fit_streaming_chunks(self, smooth_2d):
+        X, y = smooth_2d
+        m = CPRModel(cells=8, rank=2, seed=0).fit(X[:500], y[:500])
+        for start in range(500, 2000, 500):
+            m.partial_fit(X[start : start + 500], y[start : start + 500])
+        assert m.score(X, y) < 0.1
+        assert m.tensor_.counts.sum() == 2000
