@@ -4,9 +4,18 @@ Each benchmark runs one figure/table driver once (``benchmark.pedantic``
 with a single round — these are minutes-scale experiments, not
 microbenchmarks), prints the same rows the paper plots, and archives the
 table under ``results/``.
+
+Performance benchmarks additionally archive machine-readable records via
+:func:`report_perf`, which appends one timestamped entry per run to a
+``results/BENCH_<name>.json`` trajectory so successive PRs can compare
+throughput against history.
 """
 from __future__ import annotations
 
+import json
+import platform
+import subprocess
+import time
 from pathlib import Path
 
 from repro.utils import format_table
@@ -29,6 +38,45 @@ def report(name: str, result: dict) -> str:
     (RESULTS_DIR / f"{name}.txt").write_text(text)
     print("\n" + text)
     return text
+
+
+def _git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def report_perf(name: str, records: list) -> Path:
+    """Append one run's perf records to ``results/BENCH_<name>.json``.
+
+    ``records`` is a list of dicts (one per measured configuration).  The
+    file holds the whole trajectory — a JSON list of runs, each stamped
+    with time, git revision, and host — so future PRs can detect
+    regressions against any earlier entry.  Returns the file path.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    history = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "revision": _git_revision(),
+            "host": platform.node() or "unknown",
+            "records": records,
+        }
+    )
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return path
 
 
 def series(rows, key_idx, val_idx, where=None):

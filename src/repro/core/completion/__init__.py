@@ -19,6 +19,9 @@ from repro.core.completion.state import (
     cp_size_bytes,
     khatri_rao_rows,
     CompletionResult,
+    ModePlan,
+    ObservationPlan,
+    solve_batched_spd,
 )
 from repro.core.completion.als import complete_als
 from repro.core.completion.ccd import complete_ccd
@@ -42,6 +45,9 @@ __all__ = [
     "cp_size_bytes",
     "khatri_rao_rows",
     "CompletionResult",
+    "ModePlan",
+    "ObservationPlan",
+    "solve_batched_spd",
     "complete_als",
     "complete_ccd",
     "complete_sgd",

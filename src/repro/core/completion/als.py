@@ -12,11 +12,17 @@ element-wise product of the other factors' rows).  Each row solve is an
 
 Implementation notes (hot path, vectorized per the hpc-parallel guides):
 
-* The full Khatri-Rao row block ``K`` (``nnz x R``) is formed once per mode
-  per sweep with fancy-indexed gathers and in-place products.
-* Observations are grouped by their mode-``j`` index with one ``argsort``;
-  each row's normal equations are then two BLAS calls on a contiguous slice
-  (``K_i^T K_i`` and ``K_i^T t_i``), avoiding an ``nnz x R^2`` intermediate.
+* The default ``kernel="batched"`` path assembles *all* of a mode's
+  regularized normal systems at once: observations are grouped per row by
+  the fit-wide :class:`~repro.core.completion.state.ObservationPlan` (one
+  stable argsort per mode for the whole fit), the Khatri-Rao design block
+  is gathered directly in segment order into a reusable buffer, the ragged
+  per-row Gram matrices are reduced with one zero-padded batched GEMM, and
+  the ``(n_rows, R, R)`` stack is solved by a single batched LAPACK call.
+* ``kernel="reference"`` retains the seed's per-row loop (one ``argsort``
+  and one small solve per row per sweep) — the ground truth the
+  equivalence tests compare against, and the slow baseline the throughput
+  benchmark measures speedups over.
 * Rows with no observations are left at their current value (they are
   determined only by the prior/initialization, as in the paper's setup).
 """
@@ -28,12 +34,16 @@ import scipy.linalg
 from repro.core.completion.objectives import ls_objective
 from repro.core.completion.state import (
     CompletionResult,
+    ObservationPlan,
     init_factors,
     khatri_rao_rows,
+    solve_batched_spd,
 )
 from repro.utils.rng import as_generator
 
-__all__ = ["complete_als", "als_update_mode"]
+__all__ = ["complete_als", "als_update_mode", "KERNELS"]
+
+KERNELS = ("batched", "reference")
 
 
 def _solve_rows(K, t, row_idx, n_rows, lam, out, scale_rows):
@@ -71,6 +81,38 @@ def _solve_rows(K, t, row_idx, n_rows, lam, out, scale_rows):
             out[i] = np.linalg.lstsq(G, b, rcond=None)[0]
 
 
+def _solve_rows_batched(plan, j, factors, t_sorted, lam, out, scale_rows):
+    """Batched equivalent of :func:`_solve_rows` for one mode.
+
+    Builds every observed row's ``R x R`` normal system in one shot from
+    the plan's sorted layout and solves the whole stack with one batched
+    LAPACK call; results overwrite the observed rows of ``out`` in place.
+    """
+    mp = plan.mode(j)
+    if mp.n_obs == 0:
+        return
+    if not mp.pad_feasible:
+        # Heavily skewed multiplicities: zero-padding would dwarf O(nnz).
+        # Solve per row on the (already sorted) segments instead.
+        K = plan.khatri_rao(factors, j)
+        _solve_rows(
+            K, t_sorted, mp.sorted_indices[:, j], mp.n_rows, lam, out,
+            scale_rows,
+        )
+        return
+    R = factors[j].shape[1]
+    K = plan.khatri_rao(factors, j)
+    G = mp.gram(K)                              # (n_obs, R, R)
+    b = mp.seg_sum(K * t_sorted[:, None])       # (n_obs, R)
+    # scale_rows divides the data term by the row's observation count;
+    # scaling the whole system by ``n_i`` instead folds that into the
+    # regularization diagonal (identical solution, two fewer full-stack
+    # passes): (G/n + lam I) u = b/n  <=>  (G + n lam I) u = b.
+    diag = lam * mp.counts_obs if scale_rows else lam
+    G[:, np.arange(R), np.arange(R)] += np.asarray(diag).reshape(-1, 1)
+    out[mp.obs_rows] = solve_batched_spd(G, b)
+
+
 def _rebalance(factors) -> None:
     """Equalize per-component column norms across modes (in place).
 
@@ -87,11 +129,34 @@ def _rebalance(factors) -> None:
         U *= target / norms[j]
 
 
-def als_update_mode(factors, indices, values, j: int, lam: float, scale_rows: bool = True) -> None:
-    """One ALS mode update (in place): re-solve every row of ``U_j``."""
-    K = khatri_rao_rows(factors, indices, skip=j)
-    _solve_rows(
-        K, values, indices[:, j], factors[j].shape[0], lam, factors[j], scale_rows
+def als_update_mode(
+    factors,
+    indices,
+    values,
+    j: int,
+    lam: float,
+    scale_rows: bool = True,
+    kernel: str = "batched",
+    plan: ObservationPlan | None = None,
+) -> None:
+    """One ALS mode update (in place): re-solve every row of ``U_j``.
+
+    ``kernel="batched"`` (default) uses the stacked segment-Gram path;
+    ``"reference"`` the retained per-row loop.  ``plan`` lets callers reuse
+    a fit-wide :class:`ObservationPlan` (built on the fly when omitted).
+    """
+    if kernel == "reference":
+        K = khatri_rao_rows(factors, indices, skip=j)
+        _solve_rows(
+            K, values, indices[:, j], factors[j].shape[0], lam, factors[j], scale_rows
+        )
+        return
+    if kernel != "batched":
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    if plan is None:
+        plan = ObservationPlan([U.shape[0] for U in factors], indices)
+    _solve_rows_batched(
+        plan, j, factors, plan.sorted_values(values, j), lam, factors[j], scale_rows
     )
 
 
@@ -106,6 +171,7 @@ def complete_als(
     seed=None,
     factors: list | None = None,
     scale_rows: bool = True,
+    kernel: str = "batched",
 ) -> CompletionResult:
     """Fit a rank-``rank`` CP decomposition to observed entries with ALS.
 
@@ -128,6 +194,10 @@ def complete_als(
         observations, which rescales the effective regularization per row.
         ``False``: plain block coordinate descent on Eq. 3, whose
         ``history`` is then monotonically non-increasing.
+    kernel
+        ``"batched"`` (default): loop-free stacked row solves sharing one
+        :class:`ObservationPlan` across sweeps.  ``"reference"``: the
+        per-row loop kept for equivalence testing and benchmarking.
 
     Returns
     -------
@@ -144,14 +214,32 @@ def complete_als(
     d = len(shape)
     if d < 2:
         raise ValueError("tensor completion needs order >= 2")
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
     if factors is None:
         factors = init_factors(shape, rank, rng=as_generator(seed))
+    else:
+        # The buffered gathers require float64; coerce warm starts.
+        factors = [np.asarray(U, dtype=float) for U in factors]
+    if kernel == "batched":
+        plan = ObservationPlan(shape, indices)
+        indices = plan.indices
+        t_sorted = [plan.sorted_values(values, j) for j in range(d)]
     history = [ls_objective(factors, indices, values, regularization)]
     converged = False
     sweeps = 0
     for sweep in range(max_sweeps):
         for j in range(d):
-            als_update_mode(factors, indices, values, j, regularization, scale_rows)
+            if kernel == "batched":
+                _solve_rows_batched(
+                    plan, j, factors, t_sorted[j], regularization,
+                    factors[j], scale_rows,
+                )
+            else:
+                als_update_mode(
+                    factors, indices, values, j, regularization, scale_rows,
+                    kernel="reference",
+                )
         # Gauge fix: balancing column norms leaves the CP tensor unchanged
         # and weakly decreases the Frobenius penalty, so monotonicity of the
         # scale_rows=False history is preserved.

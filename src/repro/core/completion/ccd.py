@@ -25,7 +25,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.completion.objectives import ls_objective
-from repro.core.completion.state import CompletionResult, cp_eval, init_factors
+from repro.core.completion.state import (
+    CompletionResult,
+    ObservationPlan,
+    cp_eval,
+    init_factors,
+)
 from repro.utils.rng import as_generator
 
 __all__ = ["complete_ccd"]
@@ -61,6 +66,13 @@ def complete_ccd(
         factors = init_factors(shape, rank, rng=as_generator(seed))
     lam = float(regularization)
 
+    # Fit-wide observation bookkeeping: per-mode observed-row masks come
+    # from the shared plan instead of a bincount per (sweep, mode, rank).
+    # (CCD's segmented sums are bincounts over *unsorted* indices, so only
+    # the masks are needed — not the plan's sorted layouts.)
+    plan = ObservationPlan(shape, indices)
+    observed = [plan.observed_mask(j) for j in range(d)]
+
     # Per-component contribution cache: comp[r] over observations.
     # pred = sum_r comp_r where comp_r = prod_j U_j[idx_j, r].
     cols = [indices[:, j] for j in range(d)]
@@ -91,8 +103,7 @@ def complete_ccd(
                 den = np.bincount(idx_j, weights=w * w, minlength=n_rows) + lam
                 u_new = num / den
                 # Unobserved rows: bincount gives 0/lam = 0; keep old value.
-                observed = np.bincount(idx_j, minlength=n_rows) > 0
-                u_new = np.where(observed, u_new, factors[j][:, r])
+                u_new = np.where(observed[j], u_new, factors[j][:, r])
                 # Incremental prediction update.
                 new_comp_r = w * u_new[idx_j]
                 pred += new_comp_r - comp[r]

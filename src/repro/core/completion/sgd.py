@@ -65,6 +65,9 @@ def complete_sgd(
     rng = as_generator(seed)
     if factors is None:
         factors = init_factors(shape, rank, rng=rng)
+    else:
+        # The buffered gathers require float64; coerce warm starts.
+        factors = [np.asarray(U, dtype=float) for U in factors]
     lam = float(regularization)
     n = len(values)
     batch_size = min(batch_size, n)
@@ -75,20 +78,27 @@ def complete_sgd(
     converged = False
     sweeps = 0
     velocity = [np.zeros_like(U) for U in factors]
+    # Reusable minibatch work buffers (hot loop: no per-batch allocation of
+    # the Khatri-Rao block or the residual product).  Sized from the actual
+    # factor rank: a warm start may carry a different rank than ``rank``.
+    R = factors[0].shape[1]
+    kr_buf = np.empty((batch_size, R))
+    prod_buf = np.empty((batch_size, R))
     for epoch in range(max_sweeps):
         lr = learning_rate / (1.0 + decay * epoch)
         perm = rng.permutation(n)
         for start in range(0, n, batch_size):
             batch = perm[start : start + batch_size]
             idx_b = indices[batch]
+            m = len(batch)
             # Residual on the batch under the current factors.
-            prod = factors[0][idx_b[:, 0]].copy()
+            prod = np.take(factors[0], idx_b[:, 0], axis=0, out=prod_buf[:m])
             for j in range(1, d):
                 prod *= factors[j][idx_b[:, j]]
             resid = prod.sum(axis=1) - values[batch]
-            scale = 2.0 * lr / len(batch)
+            scale = 2.0 * lr / m
             for j in range(d):
-                K = khatri_rao_rows(factors, idx_b, skip=j)
+                K = khatri_rao_rows(factors, idx_b, skip=j, out=kr_buf[:m])
                 g = np.zeros_like(factors[j])
                 np.add.at(g, idx_b[:, j], scale * (K * resid[:, None]))
                 velocity[j] = momentum * velocity[j] - g
@@ -104,6 +114,10 @@ def complete_sgd(
             learning_rate *= 0.5
             factors = init_factors(shape, rank, rng=rng)
             velocity = [np.zeros_like(U) for U in factors]
+            if rank != R:  # warm start carried a different rank
+                R = rank
+                kr_buf = np.empty((batch_size, R))
+                prod_buf = np.empty((batch_size, R))
             history[-1] = ls_objective(factors, indices, values, lam)
             continue
         if best - cur <= tol * max(best, 1e-30):

@@ -26,7 +26,11 @@ from __future__ import annotations
 import numpy as np
 import scipy.linalg
 
-from repro.core.completion.state import CompletionResult
+from repro.core.completion.state import (
+    CompletionResult,
+    ObservationPlan,
+    solve_batched_spd,
+)
 from repro.utils.rng import as_generator
 
 __all__ = ["complete_tucker", "tucker_eval", "TuckerFactors"]
@@ -175,27 +179,40 @@ def complete_tucker(
     history = [objective()]
     converged = False
     sweeps = 0
-    eye_cache = {R: np.eye(R) for R in set(ranks)}
+    # Fit-wide sorted observation layout shared by every sweep (one stable
+    # argsort per mode), with targets pre-sorted once per mode.
+    plan = ObservationPlan(shape, indices)
+    t_sorted = [plan.sorted_values(values, j) for j in range(d)]
     for sweep in range(max_sweeps):
-        # --- factor updates (row-wise ridge LS, sort-and-segment) ---------
+        # --- factor updates (batched ridge LS over all rows of a mode) ----
         for j in range(d):
-            K = _contracted_rows(model, indices, skip=j)
-            row_idx = indices[:, j]
-            order = np.argsort(row_idx, kind="stable")
-            Ks, ts = K[order], values[order]
-            bounds = np.searchsorted(row_idx[order], np.arange(shape[j] + 1))
-            U = factors[j]
+            mp = plan.mode(j)
+            if mp.n_obs == 0:
+                continue
+            K = _contracted_rows(model, mp.sorted_indices, skip=j)
             R = ranks[j]
-            for i in range(shape[j]):
-                lo, hi = bounds[i], bounds[i + 1]
-                if lo == hi:
-                    continue
-                Ki, ti = Ks[lo:hi], ts[lo:hi]
-                G = Ki.T @ Ki + lam * eye_cache[R]
-                try:
-                    U[i] = scipy.linalg.solve(G, Ki.T @ ti, assume_a="pos")
-                except np.linalg.LinAlgError:
-                    U[i] = np.linalg.lstsq(G, Ki.T @ ti, rcond=None)[0]
+            if not mp.pad_feasible:
+                # Heavily skewed multiplicities: padding would dwarf
+                # O(nnz); solve per row on the sorted segments instead.
+                U = factors[j]
+                eye = np.eye(R)
+                ts = t_sorted[j]
+                for lo, hi, i in zip(
+                    mp.starts_obs,
+                    mp.starts_obs + mp.counts[mp.obs_rows],
+                    mp.obs_rows,
+                ):
+                    Ki, ti = K[lo:hi], ts[lo:hi]
+                    G = Ki.T @ Ki + lam * eye
+                    try:
+                        U[i] = scipy.linalg.solve(G, Ki.T @ ti, assume_a="pos")
+                    except np.linalg.LinAlgError:
+                        U[i] = np.linalg.lstsq(G, Ki.T @ ti, rcond=None)[0]
+                continue
+            G = mp.gram(K)
+            b = mp.seg_sum(K * t_sorted[j][:, None])
+            G[:, np.arange(R), np.arange(R)] += lam
+            factors[j][mp.obs_rows] = solve_batched_spd(G, b)
         # --- core update (global ridge LS over prod(ranks) unknowns) ------
         # Design row k = outer product of the factor rows of observation k.
         D = factors[0][indices[:, 0]]

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.grid import TensorGrid
 
-__all__ = ["interpolation_weights", "interpolate"]
+__all__ = ["interpolation_weights", "corner_stack", "interpolate"]
 
 
 def interpolation_weights(grid: TensorGrid, X: np.ndarray, active=None):
@@ -81,38 +81,60 @@ def interpolation_weights(grid: TensorGrid, X: np.ndarray, active=None):
     return lo, hi, w_lo, w_hi, active
 
 
+def corner_stack(grid: TensorGrid, X: np.ndarray, active=None):
+    """All ``2^q`` corner multi-indices and weights, stacked corner-major.
+
+    Returns
+    -------
+    idx : (2^q * n, d) int array
+        Corner ``c``'s multi-indices occupy rows ``c*n : (c+1)*n`` (binary
+        counting over the active modes, bit ``b`` selecting ``hi`` for
+        active mode ``b``).
+    w : (2^q, n) float array
+        Matching Eq. 5 weight products (signed at the fringe).
+    active : (d,) bool array
+        The resolved active-mode mask.
+    """
+    lo, hi, w_lo, w_hi, active = interpolation_weights(grid, X, active)
+    n, d = lo.shape
+    act = np.flatnonzero(active)
+    C = 1 << len(act)
+    idx = np.broadcast_to(lo, (C, n, d)).copy()
+    w = np.ones((C, n))
+    corners = np.arange(C)
+    for b, j in enumerate(act):
+        up = ((corners >> b) & 1).astype(bool)
+        idx[up, :, j] = hi[:, j]
+        w[up] *= w_hi[:, j]
+        w[~up] *= w_lo[:, j]
+    return idx.reshape(C * n, d), w, active
+
+
 def interpolate(grid: TensorGrid, corner_eval, X: np.ndarray, active=None) -> np.ndarray:
     """Evaluate Eq. 5: blend ``corner_eval`` over the neighbouring corners.
+
+    The ``2^q`` corner lattices are stacked into one ``(2^q * n, d)`` index
+    array and ``corner_eval`` is invoked exactly *once*; the blend is then
+    a single weighted reduction.  This keeps the whole prediction path
+    inside vectorized kernels instead of ``2^q`` Python-level callback
+    round-trips (see DESIGN.md).
 
     Parameters
     ----------
     corner_eval
-        Callable mapping multi-indices ``(n, d)`` to tensor-element
-        estimates ``(n,)`` — e.g. ``exp`` of a CP evaluation for the
+        Callable mapping multi-indices ``(m, d)`` to tensor-element
+        estimates ``(m,)`` — e.g. ``exp`` of a CP evaluation for the
         interpolation model, or the raw positive CP evaluation for the
-        extrapolation model.
+        extrapolation model.  Must be a pure element-wise map: it is called
+        with all corners of all configurations stacked along axis 0, and
+        must return finite values (zero-weight corners are no longer
+        skipped, so a non-finite estimate would poison the blend).
     active
         Optional per-mode interpolation mask (see
         :func:`interpolation_weights`); Section 5.3 disables interpolation
         along extrapolated modes by passing ``False`` there.
     """
-    lo, hi, w_lo, w_hi, active = interpolation_weights(grid, X, active)
-    n, d = lo.shape
-    act = np.flatnonzero(active)
-    out = np.zeros(n)
-    idx = lo.copy()
-    # Enumerate the 2^q corners of the active modes by binary counting.
-    for c in range(1 << len(act)):
-        w = np.ones(n)
-        for b, j in enumerate(act):
-            if (c >> b) & 1:
-                idx[:, j] = hi[:, j]
-                w *= w_hi[:, j]
-            else:
-                idx[:, j] = lo[:, j]
-                w *= w_lo[:, j]
-        # Skip corners with (numerically) zero weight everywhere.
-        if not np.any(w):
-            continue
-        out += w * corner_eval(idx)
-    return out
+    idx, w, _ = corner_stack(grid, X, active)
+    C, n = w.shape
+    vals = np.asarray(corner_eval(idx), dtype=float).reshape(C, n)
+    return np.einsum("cn,cn->n", w, vals)

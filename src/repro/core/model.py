@@ -50,6 +50,11 @@ def _grid_from_data(X: np.ndarray, cells, scales=None) -> TensorGrid:
     cells = list(cells)
     if len(cells) != d:
         raise ValueError("cells list length must equal number of columns")
+    if scales is not None and len(scales) != d:
+        raise ValueError(
+            f"scales list length ({len(scales)}) must equal the number of "
+            f"data columns ({d})"
+        )
     modes = []
     for j in range(d):
         col = X[:, j]
@@ -395,10 +400,16 @@ class CPRModel:
             ext_rows = {j: self._extrapolator(j).factor_rows(Xg[:, j]) for j in key}
             outside = set(key)
 
-            def corner_eval(idx, _ext=ext_rows, _outside=outside):
+            def corner_eval(idx, _ext=ext_rows, _outside=outside, _n=len(ridx)):
+                # ``interpolate`` stacks all 2^q corners corner-major, so the
+                # per-configuration extrapolated factor rows tile verbatim.
+                reps = len(idx) // _n
                 prod = None
                 for j in range(d):
-                    f = _ext[j] if j in _outside else self.factors_[j][idx[:, j]]
+                    if j in _outside:
+                        f = np.tile(_ext[j], (reps, 1))
+                    else:
+                        f = self.factors_[j][idx[:, j]]
                     prod = f.copy() if prod is None else prod * f
                 val = scale * prod.sum(axis=1)
                 return np.log(np.maximum(val, 1e-300))

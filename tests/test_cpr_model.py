@@ -100,6 +100,18 @@ class TestValidation:
         with pytest.raises(ValueError):
             CPRModel().fit(X, y[:-1])
 
+    def test_short_scales_list_rejected(self, smooth_2d):
+        """A scales list shorter than the data's columns must raise clearly
+        (it used to surface as a bare IndexError mid-grid-construction)."""
+        X, y = smooth_2d
+        with pytest.raises(ValueError, match="scales list length"):
+            CPRModel(cells=4, rank=1, scales=["log"]).fit(X, y)
+
+    def test_matching_scales_list_ok(self, smooth_2d):
+        X, y = smooth_2d
+        m = CPRModel(cells=4, rank=1, seed=0, scales=["log", None]).fit(X, y)
+        assert m.grid_.order == 2
+
 
 class TestOutOfDomainPolicies:
     def _fitted(self, smooth_2d, **kw):

@@ -141,8 +141,12 @@ class TestInterpolate:
 
         interpolate(g, corner_eval, np.array([[3.3, 4.7]]),
                     active=np.array([True, False]))
-        # only 2 corners (one mode active), not 4
-        assert len(calls) == 2
+        # The fused blend makes exactly one stacked call, covering only the
+        # 2 corners of the single active mode (not 4).
+        assert len(calls) == 1
+        assert calls[0].shape == (2, 2)
+        # The inactive mode's index is fixed at its cell in both corners.
+        assert np.all(calls[0][:, 1] == calls[0][0, 1])
 
     def test_weights_partition_constant_function(self):
         """Interpolating a constant must return the constant everywhere."""

@@ -1,0 +1,225 @@
+"""Batched vs reference completion kernels: exact-equivalence tests.
+
+The batched ALS / AMN paths (segment-reduced Gram assembly, batched
+LAPACK solves, masked Gauss-Newton) must reproduce the retained per-row
+reference implementations to tight tolerance — same sweeps, same
+histories, same factors — across tensor orders, ragged observation
+multiplicities (including rows with *no* observations), and warm starts.
+See DESIGN.md, "Batched completion kernels".
+"""
+import numpy as np
+import pytest
+
+from repro.core.completion import (
+    ObservationPlan,
+    complete_als,
+    complete_amn,
+    init_factors,
+    init_positive_factors,
+)
+from repro.core.completion.als import als_update_mode
+
+ORDERS = {
+    2: (13, 7),
+    3: (11, 6, 9),
+    4: (8, 5, 7, 4),
+    5: (6, 4, 5, 3, 4),
+}
+
+
+def _ragged_observations(shape, seed, positive=False):
+    """Random observations with skewed multiplicities and unobserved rows.
+
+    Half the draws are concentrated on low indices (heavily repeated
+    rows), and the last row of mode 0 plus the middle row of the final
+    mode are scrubbed entirely, so every plan has ragged segments *and*
+    unobserved rows to leave untouched.
+    """
+    rng = np.random.default_rng(seed)
+    nnz = 60 * len(shape)
+    skew = np.stack(
+        [rng.integers(0, max(I // 2, 1), nnz // 2) for I in shape], axis=1
+    )
+    unif = np.stack([rng.integers(0, I, nnz - nnz // 2) for I in shape], axis=1)
+    idx = np.concatenate([skew, unif])
+    keep = (idx[:, 0] != shape[0] - 1) & (idx[:, -1] != shape[-1] // 2)
+    idx = idx[keep]
+    vals = rng.normal(size=len(idx)) * 0.5 + 2.0
+    if positive:
+        vals = np.exp(vals * 0.4)
+    return np.ascontiguousarray(idx), vals
+
+
+def _assert_factors_close(a, b, rtol=1e-8):
+    for j, (U, V) in enumerate(zip(a, b)):
+        scale = max(float(np.abs(U).max()), 1e-30)
+        np.testing.assert_allclose(
+            V, U, rtol=0, atol=rtol * scale,
+            err_msg=f"mode {j} factors diverge between kernels",
+        )
+
+
+@pytest.mark.parametrize("order", sorted(ORDERS))
+@pytest.mark.parametrize("scale_rows", [True, False])
+class TestALSEquivalence:
+    def test_full_fit_matches(self, order, scale_rows):
+        shape = ORDERS[order]
+        idx, vals = _ragged_observations(shape, seed=order)
+        kw = dict(rank=3, regularization=1e-5, max_sweeps=6, tol=0.0,
+                  seed=7, scale_rows=scale_rows)
+        ref = complete_als(shape, idx, vals, kernel="reference", **kw)
+        bat = complete_als(shape, idx, vals, kernel="batched", **kw)
+        _assert_factors_close(ref.factors, bat.factors)
+        np.testing.assert_allclose(ref.history, bat.history, rtol=1e-9)
+        assert ref.n_sweeps == bat.n_sweeps
+
+    def test_single_mode_update_matches(self, order, scale_rows):
+        shape = ORDERS[order]
+        idx, vals = _ragged_observations(shape, seed=10 + order)
+        for j in range(len(shape)):
+            ref = init_factors(shape, 4, rng=np.random.default_rng(3))
+            bat = [U.copy() for U in ref]
+            als_update_mode(ref, idx, vals, j, 1e-4, scale_rows,
+                            kernel="reference")
+            als_update_mode(bat, idx, vals, j, 1e-4, scale_rows,
+                            kernel="batched")
+            _assert_factors_close(ref, bat)
+
+    def test_warm_start_matches(self, order, scale_rows):
+        shape = ORDERS[order]
+        idx, vals = _ragged_observations(shape, seed=20 + order)
+        kw = dict(rank=2, regularization=1e-5, tol=0.0, seed=1,
+                  scale_rows=scale_rows)
+        start = complete_als(shape, idx, vals, max_sweeps=3, **kw).factors
+        ref = complete_als(shape, idx, vals, max_sweeps=3, kernel="reference",
+                           factors=[U.copy() for U in start], **kw)
+        bat = complete_als(shape, idx, vals, max_sweeps=3, kernel="batched",
+                           factors=[U.copy() for U in start], **kw)
+        _assert_factors_close(ref.factors, bat.factors)
+
+
+@pytest.mark.parametrize("order", sorted(ORDERS))
+class TestAMNEquivalence:
+    def test_full_fit_matches(self, order):
+        shape = ORDERS[order]
+        idx, vals = _ragged_observations(shape, seed=order, positive=True)
+        kw = dict(rank=2, regularization=1e-5, max_sweeps=2, tol=1e-6,
+                  seed=5, newton_iters=8, barrier_min=1e-2)
+        ref = complete_amn(shape, idx, vals, kernel="reference", **kw)
+        bat = complete_amn(shape, idx, vals, kernel="batched", **kw)
+        _assert_factors_close(ref.factors, bat.factors)
+        np.testing.assert_allclose(ref.history, bat.history, rtol=1e-8)
+        assert all(np.all(U > 0) for U in bat.factors)
+
+    def test_warm_start_matches(self, order):
+        shape = ORDERS[order]
+        idx, vals = _ragged_observations(shape, seed=30 + order, positive=True)
+        start = init_positive_factors(shape, 2, rng=np.random.default_rng(9),
+                                      mean=float(np.mean(vals)))
+        kw = dict(rank=2, regularization=1e-5, max_sweeps=1, tol=1e-6,
+                  seed=0, newton_iters=6, barrier_min=1e-1)
+        ref = complete_amn(shape, idx, vals, kernel="reference",
+                           factors=[U.copy() for U in start], **kw)
+        bat = complete_amn(shape, idx, vals, kernel="batched",
+                           factors=[U.copy() for U in start], **kw)
+        _assert_factors_close(ref.factors, bat.factors)
+
+    def test_unobserved_rows_untouched(self, order):
+        shape = ORDERS[order]
+        idx, vals = _ragged_observations(shape, seed=40 + order, positive=True)
+        start = init_positive_factors(shape, 2, rng=np.random.default_rng(11),
+                                      mean=float(np.mean(vals)))
+        frozen = start[0][shape[0] - 1].copy()
+        res = complete_amn(shape, idx, vals, rank=2, max_sweeps=1,
+                           newton_iters=4, barrier_min=1e-1, seed=0,
+                           factors=[U.copy() for U in start])
+        np.testing.assert_array_equal(res.factors[0][shape[0] - 1], frozen)
+
+
+class TestSkewFallback:
+    """Extreme multiplicity skew must dispatch off the padded path."""
+
+    def _skewed_problem(self, positive=False):
+        # One row of mode 0 owns almost every observation: padding would
+        # cost n_obs * max_count >> nnz, so pad_feasible must trip.
+        rng = np.random.default_rng(0)
+        shape = (40, 6, 5)
+        nnz = 12000
+        idx = np.stack(
+            [
+                np.where(rng.random(nnz) < 0.97, 3, rng.integers(0, 40, nnz)),
+                rng.integers(0, 6, nnz),
+                rng.integers(0, 5, nnz),
+            ],
+            axis=1,
+        ).astype(np.intp)
+        vals = rng.normal(size=nnz) * 0.3 + 2.0
+        if positive:
+            vals = np.exp(vals * 0.4)
+        return shape, idx, vals
+
+    def test_pad_infeasible_detected(self):
+        shape, idx, _ = self._skewed_problem()
+        plan = ObservationPlan(shape, idx)
+        assert not plan.mode(0).pad_feasible
+        assert plan.mode(1).pad_feasible
+
+    def test_als_skewed_matches_reference(self):
+        shape, idx, vals = self._skewed_problem()
+        kw = dict(rank=3, regularization=1e-5, max_sweeps=5, tol=0.0, seed=2)
+        ref = complete_als(shape, idx, vals, kernel="reference", **kw)
+        bat = complete_als(shape, idx, vals, kernel="batched", **kw)
+        _assert_factors_close(ref.factors, bat.factors)
+
+    def test_tucker_skewed_fits(self):
+        from repro.core.completion.tucker import complete_tucker
+
+        shape, idx, vals = self._skewed_problem()
+        res = complete_tucker(shape, idx, vals, rank=2, max_sweeps=4, seed=0)
+        assert np.isfinite(res.history[-1])
+        assert res.history[-1] <= res.history[0]
+
+    def test_amn_skewed_matches_reference(self):
+        shape, idx, vals = self._skewed_problem(positive=True)
+        kw = dict(rank=2, regularization=1e-5, max_sweeps=1, tol=1e-6,
+                  seed=2, newton_iters=6, barrier_min=1e-1)
+        ref = complete_amn(shape, idx, vals, kernel="reference", **kw)
+        bat = complete_amn(shape, idx, vals, kernel="batched", **kw)
+        _assert_factors_close(ref.factors, bat.factors)
+
+
+class TestPlanInvariants:
+    def test_plan_segments_partition_observations(self):
+        shape = (9, 6, 5)
+        idx, _ = _ragged_observations(shape, seed=2)
+        plan = ObservationPlan(shape, idx)
+        for j in range(len(shape)):
+            mp = plan.mode(j)
+            assert mp.counts.sum() == len(idx)
+            # sorted indices really are segment-contiguous in mode j
+            assert np.all(np.diff(mp.sorted_indices[:, j]) >= 0)
+            # padding scatter coordinates cover each segment exactly once
+            assert len(mp.seg) == len(idx)
+            assert mp.offsets.max() < mp.max_count
+
+    def test_unobserved_rows_excluded_from_compaction(self):
+        shape = (9, 6, 5)
+        idx, _ = _ragged_observations(shape, seed=3)
+        plan = ObservationPlan(shape, idx)
+        mp = plan.mode(0)
+        assert shape[0] - 1 not in mp.obs_rows
+        assert not mp.observed[shape[0] - 1]
+
+    def test_khatri_rao_matches_unsorted_reference(self):
+        from repro.core.completion import khatri_rao_rows
+
+        shape = (7, 5, 6, 4)
+        idx, _ = _ragged_observations(shape, seed=4)
+        rng = np.random.default_rng(0)
+        factors = [rng.normal(size=(I, 3)) for I in shape]
+        plan = ObservationPlan(shape, idx)
+        for j in range(len(shape)):
+            mp = plan.mode(j)
+            K = plan.khatri_rao(factors, j)
+            expected = khatri_rao_rows(factors, idx, skip=j)[mp.order]
+            np.testing.assert_allclose(K, expected, rtol=1e-13)

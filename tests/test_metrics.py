@@ -157,8 +157,12 @@ def test_property_mlogq_scale_independence(y, a):
     eps=st.floats(-0.5, 2.0),
 )
 def test_property_exact_epsilon_rows(y, eps):
-    e = np.full_like(y, eps)
     m = y * (1 + eps)
+    # Use the epsilon actually realized after rounding: for |eps| near the
+    # unit roundoff, y * (1 + eps) rounds back to y exactly, and the metric
+    # is 0 while the nominal eps form is not.  (m - y) / y mirrors the
+    # metric formulas digit-for-digit; m / y - 1 would cancel catastrophically.
+    e = (m - y) / y
     for name in ("mape", "mae", "smape"):
         assert METRICS[name](m, y) == pytest.approx(
             epsilon_form(name, e, y), rel=1e-9, abs=1e-12
