@@ -255,14 +255,16 @@ class Application:
         """Simulated measured execution times (strictly positive).
 
         ``sigma`` overrides the application's default measurement-noise
-        level; ``sigma=0`` returns the latent surface exactly.
+        level; ``sigma=0`` returns the latent surface exactly.  A scalar
+        applies one noise level to every configuration; an array (any
+        shape broadcastable to ``len(X)``) sets per-row levels.
         """
         X = self.space.validate(X)
         t = self.latent_time(X)
         if np.any(t <= 0) or not np.all(np.isfinite(t)):
             raise RuntimeError(f"{self.name}: latent time must be positive/finite")
-        s = self.noise_sigma if sigma is None else sigma
-        if s > 0:
+        s = np.asarray(self.noise_sigma if sigma is None else sigma, dtype=float)
+        if np.any(s > 0):
             rng = as_generator(rng)
             t = t * np.exp(rng.normal(0.0, s, size=t.shape))
         return t

@@ -62,6 +62,14 @@ class Mode:
             self._midpoints_h = self.transform(self.midpoints)
         return self._midpoints_h
 
+    def __getstate__(self):
+        # Drop the lazy transform cache: pickled size must not depend on
+        # whether the mode has served a prediction yet (size accounting
+        # and persistence share the pickled representation).
+        state = dict(self.__dict__)
+        state.pop("_midpoints_h", None)
+        return state
+
     def __repr__(self):
         return f"{type(self).__name__}({self.name!r}, n_cells={self.n_cells})"
 
@@ -218,8 +226,11 @@ class TensorGrid:
             if X is not None:
                 col = np.asarray(X, dtype=float)[:, j]
                 low, high = float(col.min()), float(col.max())
-                if low == high:  # degenerate column: widen minimally
-                    high = low * (1 + 1e-9) + 1e-12
+                if low == high:
+                    # Degenerate column: widen minimally.  The widening must
+                    # be symmetric in |low| — a relative bump in the signed
+                    # value would land *below* low for negative constants.
+                    high = low + max(abs(low) * 1e-9, 1e-12)
             n = int(cells_for[p.name])
             if p.integer:
                 n = min(n, max(int(np.floor(high) - np.ceil(low)) + 1, 1))

@@ -179,6 +179,7 @@ class CPRModel:
             self.offset_ = float(np.mean(np.log(tensor.values)))
             targets = tensor.values / np.exp(self.offset_)
 
+        self._observed_rows_ = None
         self._run_completion(tensor, targets, warm_start=False)
         self._impute_unobserved_rows()
         self._extrapolators: dict[int, ModeExtrapolator] = {}
@@ -226,6 +227,11 @@ class CPRModel:
         original modeling domain are clipped into its edge cells.
         """
         self._require_fitted()
+        if not hasattr(self, "tensor_"):
+            raise RuntimeError(
+                "partial_fit needs the full fitted object; this model was "
+                "restored from its minimal prediction state (save_model)"
+            )
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
             X = X[:, None]
@@ -235,6 +241,7 @@ class CPRModel:
             X = self.space.validate(X)
         new = ObservedTensor.from_data(self.grid_, X, y)
         self.tensor_ = self.tensor_.merge(new)
+        self._observed_rows_ = None
 
         if self.loss == "log_mse":
             targets = self.tensor_.log_values() - self.offset_
@@ -265,7 +272,7 @@ class CPRModel:
         the observed rows.
         """
         for j, U in enumerate(self._factor_list()):
-            obs = np.unique(self.tensor_.indices[:, j])
+            obs = self._observed_per_mode()[j]
             if len(obs) == U.shape[0]:
                 continue
             missing = np.setdiff1d(np.arange(U.shape[0]), obs)
@@ -284,6 +291,20 @@ class CPRModel:
             for c in range(U.shape[1]):
                 filled = np.interp(h[missing], h[obs], src[:, c])
                 U[missing, c] = np.exp(filled) if positive else filled
+
+    def _observed_per_mode(self) -> list:
+        """Per-mode sorted arrays of factor-row indices touched by data.
+
+        Derived from the observation tensor and cached; the minimal
+        persisted state stores these small arrays instead of the tensor,
+        which keeps out-of-domain extrapolation working after reload.
+        """
+        if getattr(self, "_observed_rows_", None) is None:
+            self._observed_rows_ = [
+                np.unique(self.tensor_.indices[:, j])
+                for j in range(self.grid_.order)
+            ]
+        return self._observed_rows_
 
     def _require_fitted(self):
         if not hasattr(self, "factors_"):
@@ -325,7 +346,7 @@ class CPRModel:
                     f"cannot extrapolate categorical mode {mode.name!r}"
                 )
             observed = np.zeros(mode.n_cells, dtype=bool)
-            observed[np.unique(self.tensor_.indices[:, j])] = True
+            observed[self._observed_per_mode()[j]] = True
             self._extrapolators[j] = ModeExtrapolator.fit(
                 mode, self._factor_list()[j], observed=observed
             )
@@ -446,18 +467,76 @@ class CPRModel:
         return cp_size_bytes(self.factors_)
 
     def __getstate_for_size__(self):
-        """Minimal prediction state measured by the model-size experiments."""
+        """Minimal-but-complete prediction state.
+
+        This single state is both *measured* by ``size_bytes`` (the
+        paper's Figure 7 model-size metric) and *persisted* by
+        :func:`repro.utils.serialization.save_model`, so reported and
+        on-disk sizes agree by construction.  It carries everything
+        ``predict``/``score`` need — factors, the discretization grid,
+        the log offset and clamps, and the per-mode observed-row index
+        sets that rebuild extrapolators lazily — and drops fit-time
+        buffers (the observation tensor and optimizer result).
+        """
         self._require_fitted()
-        grid_state = [
-            (type(m).__name__, m.name, np.asarray(m.midpoints), m.n_cells)
-            for m in self.grid_.modes
-        ]
-        return {
+        state = {
             "factors": self.factors_,
-            "grid": grid_state,
+            "grid": self.grid_,
             "offset": self.offset_,
             "loss": self.loss,
+            "out_of_domain": self.out_of_domain,
+            "rank": self.rank,
+            "observed": self._observed_per_mode(),
+            # A few scalar knobs so repr/refit on a restored model use the
+            # original configuration (the parameter space itself is not
+            # persisted — refitting needs it re-supplied).
+            "config": {
+                "optimizer": self.optimizer,
+                "regularization": self.regularization,
+                "max_sweeps": self.max_sweeps,
+                "tol": self.tol,
+                "seed": self.seed,
+                "cells": self.cells,
+                "scales": self.scales,
+                "opt_params": self.opt_params,
+            },
         }
+        if self.loss == "log_mse":
+            state["log_bounds"] = (self._log_lo, self._log_hi)
+        return state
+
+    @classmethod
+    def _from_minimal_state(cls, state: dict) -> "CPRModel":
+        """Rebuild a predict-capable model from :meth:`__getstate_for_size__`.
+
+        The restored model predicts identically to the original and keeps
+        its hyper-parameter configuration; ``partial_fit`` (which needs
+        the observation tensor) raises until the model is refitted, and
+        refitting with a parameter space requires setting ``.space``
+        again (spaces may hold non-persistable constraint callables).
+        """
+        m = object.__new__(cls)
+        m.grid_ = state["grid"]
+        m.factors_ = list(state["factors"])
+        m.offset_ = float(state["offset"])
+        m.loss = state["loss"]
+        m.out_of_domain = state.get("out_of_domain", "auto")
+        m.rank = int(state["rank"])
+        m._observed_rows_ = list(state["observed"])
+        m._extrapolators = {}
+        if "log_bounds" in state:
+            m._log_lo, m._log_hi = (float(v) for v in state["log_bounds"])
+        m.space = None
+        config = state.get("config", {})
+        m.optimizer = config.get("optimizer", "amn" if m.loss == "mlogq2" else "als")
+        m.regularization = config.get("regularization", 1e-5)
+        m.max_sweeps = config.get("max_sweeps", 50)
+        m.tol = config.get("tol", 1e-5)
+        m.seed = config.get("seed", 0)
+        m.cells = config.get("cells", list(m.grid_.shape))
+        m.scales = config.get("scales")
+        m.opt_params = dict(config.get("opt_params", {}))
+        return m
 
     @property
     def size_bytes(self) -> int:
@@ -560,7 +639,17 @@ class TuckerModel(CPRModel):
     def __getstate_for_size__(self):
         state = super().__getstate_for_size__()
         state["core"] = self.tucker_.core
+        state["tucker_rank"] = self.tucker_rank
         return state
+
+    @classmethod
+    def _from_minimal_state(cls, state: dict) -> "TuckerModel":
+        from repro.core.completion.tucker import TuckerFactors
+
+        m = super()._from_minimal_state(state)
+        m.tucker_ = TuckerFactors(np.asarray(state["core"]), m.factors_)
+        m.tucker_rank = state.get("tucker_rank", m.tucker_.ranks)
+        return m
 
     def __repr__(self):
         fitted = hasattr(self, "tucker_")

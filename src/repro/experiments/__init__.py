@@ -7,12 +7,13 @@ selects problem sizes: ``"smoke"`` (seconds-scale, default for CI),
 ``"full"`` (minutes), ``"paper"`` (the paper's training sizes).
 """
 from repro.experiments.config import SCALES, resolve_scale, tuning_grid
-from repro.experiments.registry import make_model, MODEL_NAMES
+from repro.experiments.registry import make_model, canonical_params, MODEL_NAMES
 from repro.experiments.harness import (
     get_dataset,
     tune_model,
     evaluate_model,
     interpolation_experiment,
+    run_tune_job,
 )
 
 __all__ = [
@@ -20,9 +21,11 @@ __all__ = [
     "resolve_scale",
     "tuning_grid",
     "make_model",
+    "canonical_params",
     "MODEL_NAMES",
     "get_dataset",
     "tune_model",
     "evaluate_model",
     "interpolation_experiment",
+    "run_tune_job",
 ]

@@ -4,9 +4,24 @@ Run any table/figure reproduction without pytest::
 
     python -m repro.experiments figure1 --scale smoke
     python -m repro.experiments figure6 --scale full --seed 1 --out results/
+    python -m repro.experiments figure5 --jobs 4 --cache-dir ~/.cache/repro
     python -m repro.experiments all --scale smoke
 
 Scales: smoke (seconds-to-minutes), full, paper (the paper's sizes).
+
+Runtime flags (see :mod:`repro.runtime` and DESIGN.md "Runtime & caching"):
+
+``--jobs N``
+    Execute each driver's job list on ``N`` worker processes.  The
+    default (1) runs sequentially in-process; results are identical
+    either way — every job derives its randomness from seeds in its spec.
+``--cache-dir PATH``
+    Content-addressed result cache.  Completed jobs are stored as JSON
+    records keyed by a hash of the job spec; re-running a sweep answers
+    finished jobs from the cache (an interrupted sweep resumes where it
+    stopped), and editing a grid/seed/scale invalidates exactly the jobs
+    it changes.  A ``[runtime]`` line per driver reports the hit/executed
+    split.
 """
 from __future__ import annotations
 
@@ -28,6 +43,7 @@ from repro.experiments import (
     table1,
 )
 from repro.experiments.config import SCALES
+from repro.runtime import Runtime
 from repro.utils import format_table
 
 DRIVERS = {
@@ -61,18 +77,34 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=Path, default=None,
                         help="directory to archive result tables into")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the experiment runtime "
+                             "(1 = sequential in-process)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="content-addressed job result cache; completed "
+                             "jobs are skipped on re-runs")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
+    runtime = Runtime(jobs=args.jobs, cache_dir=args.cache_dir)
     names = list(DRIVERS) if args.experiment == "all" else [args.experiment]
     for name in names:
+        hits0, executed0 = runtime.snapshot()
         t0 = time.perf_counter()
-        result = DRIVERS[name](scale=args.scale, seed=args.seed)
+        result = DRIVERS[name](scale=args.scale, seed=args.seed, runtime=runtime)
         elapsed = time.perf_counter() - t0
         table = format_table(result["headers"], result["rows"])
         print(f"\n== {name} ({elapsed:.1f}s) ==")
         print(table)
         if result.get("notes"):
             print(f"(expected shape: {result['notes']})")
+        hits = runtime.hits - hits0
+        executed = runtime.executed - executed0
+        print(
+            f"[runtime] {name}: {hits + executed} jobs, {hits} cache hits, "
+            f"{executed} executed (jobs={runtime.jobs})"
+        )
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             (args.out / f"{name}.txt").write_text(table + "\n")

@@ -7,43 +7,45 @@ and parameter counts: Tucker matches CP on low-order kernels but its core
 (``prod_j R_j``) explodes combinatorially with order — the 8-parameter AMG
 model at rank 4 already needs a 65k-entry core, where CP needs 8*4 numbers
 per mode.
+
+One runtime job per (benchmark, rank) CP/Tucker pair, plus one job for
+the order-scaling refusal check on AMG.
 """
 from __future__ import annotations
 
 from repro.apps import get_application
 from repro.core import CPRModel, TuckerModel
-from repro.experiments.config import resolve_scale
+from repro.experiments.config import n_test, resolve_scale
 from repro.experiments.harness import get_dataset
+from repro.runtime import JobSpec, execute
 
-__all__ = ["run"]
+__all__ = ["run", "build_jobs", "run_pair_job", "run_refusal_job"]
 
 _N_TRAIN = {"smoke": 2**11, "full": 2**13, "paper": 2**14}
-_N_TEST = {"smoke": 512, "full": 1024, "paper": 2048}
 
 
-def run(scale: str | None = None, seed: int = 0) -> dict:
-    scale = resolve_scale(scale)
+def run_pair_job(*, app: str, rank: int, scale: str, seed: int = 0) -> dict:
+    """Runtime job runner: CP and Tucker fits on one (benchmark, rank)."""
+    application = get_application(app)
+    train = get_dataset(app, _N_TRAIN[scale], seed=seed)
+    test = get_dataset(app, n_test(scale), seed=seed + 1000)
     rows = []
-    for app_name in ("matmul", "exafmm"):
-        app = get_application(app_name)
-        train = get_dataset(app_name, _N_TRAIN[scale], seed=seed)
-        test = get_dataset(app_name, _N_TEST[scale], seed=seed + 1000)
-        for rank in (2, 4):
-            cp = CPRModel(space=app.space, cells=8, rank=rank,
-                          regularization=1e-4, seed=seed).fit(train.X, train.y)
-            rows.append(
-                (app_name, "cp", rank, cp.score(test.X, test.y), cp.n_parameters)
-            )
-            try:
-                tk = TuckerModel(space=app.space, cells=8, rank=rank,
-                                 regularization=1e-4, seed=seed).fit(train.X, train.y)
-                rows.append(
-                    (app_name, "tucker", rank,
-                     tk.score(test.X, test.y), tk.n_parameters)
-                )
-            except MemoryError:
-                rows.append((app_name, "tucker", rank, float("nan"), -1))
-    # The order-scaling punchline: Tucker at AMG's order/rank is refused.
+    cp = CPRModel(space=application.space, cells=8, rank=rank,
+                  regularization=1e-4, seed=seed).fit(train.X, train.y)
+    rows.append([app, "cp", rank, float(cp.score(test.X, test.y)), int(cp.n_parameters)])
+    try:
+        tk = TuckerModel(space=application.space, cells=8, rank=rank,
+                         regularization=1e-4, seed=seed).fit(train.X, train.y)
+        rows.append(
+            [app, "tucker", rank, float(tk.score(test.X, test.y)), int(tk.n_parameters)]
+        )
+    except MemoryError:
+        rows.append([app, "tucker", rank, float("nan"), -1])
+    return {"rows": rows}
+
+
+def run_refusal_job(*, scale: str, seed: int = 0) -> dict:
+    """Runtime job runner: Tucker at AMG's order/rank must refuse to fit."""
     amg = get_application("amg")
     amg_train = get_dataset("amg", _N_TRAIN[scale], seed=seed)
     refused = False
@@ -52,7 +54,33 @@ def run(scale: str | None = None, seed: int = 0) -> dict:
                     seed=seed).fit(amg_train.X, amg_train.y)
     except MemoryError:
         refused = True
-    rows.append(("amg", "tucker-rank8", 8, float("nan"), -1 if refused else 0))
+    return {"rows": [["amg", "tucker-rank8", 8, float("nan"), -1 if refused else 0]]}
+
+
+def build_jobs(scale: str | None = None, seed: int = 0) -> list:
+    scale = resolve_scale(scale)
+    specs = [
+        JobSpec(
+            "repro.experiments.ablation_tucker:run_pair_job",
+            {"app": app_name, "rank": rank, "scale": scale, "seed": seed},
+        )
+        for app_name in ("matmul", "exafmm")
+        for rank in (2, 4)
+    ]
+    specs.append(
+        JobSpec(
+            "repro.experiments.ablation_tucker:run_refusal_job",
+            {"scale": scale, "seed": seed},
+        )
+    )
+    return specs
+
+
+def run(scale: str | None = None, seed: int = 0, runtime=None) -> dict:
+    scale = resolve_scale(scale)
+    rows = []
+    for record in execute(build_jobs(scale, seed), runtime):
+        rows.extend(tuple(row) for row in record["rows"])
     return {
         "headers": ["benchmark", "decomposition", "rank", "mlogq", "n_params"],
         "rows": rows,

@@ -10,6 +10,9 @@ argues for:
   sampled input parameters (Section 5.1's user-directed discretization);
 * **optimizer** — ALS vs CCD vs SGD on the same completion problem
   (Section 4.2.1's cost/convergence trade-off).
+
+Each ablation point is one runtime job (the ``run_*_job`` runners); the
+``run_*`` drivers are spec-builders + formatters.
 """
 from __future__ import annotations
 
@@ -20,31 +23,47 @@ from repro.core import CPRModel
 from repro.core.completion import complete_als, complete_ccd, complete_sgd
 from repro.core.grid import TensorGrid
 from repro.core.tensor import ObservedTensor
-from repro.experiments.config import resolve_scale
+from repro.experiments.config import n_test, resolve_scale
 from repro.experiments.harness import get_dataset
+from repro.runtime import JobSpec, execute
 
 __all__ = ["run_loss", "run_spacing", "run_optimizer"]
 
 _N_TRAIN = {"smoke": 2**11, "full": 2**13, "paper": 2**14}
-_N_TEST = {"smoke": 512, "full": 1024, "paper": 2048}
 
 
-def run_loss(scale: str | None = None, seed: int = 0) -> dict:
+# -- loss ---------------------------------------------------------------------
+
+_LOSS_VARIANTS = {
+    "log_mse": {},
+    "mlogq2": {"max_sweeps": 2, "newton_iters": 15},
+}
+
+
+def run_loss_job(*, app: str, loss: str, scale: str, seed: int = 0) -> dict:
+    """Runtime job runner: one (benchmark, loss) interpolation fit."""
+    application = get_application(app)
+    train = get_dataset(app, _N_TRAIN[scale], seed=seed)
+    test = get_dataset(app, n_test(scale), seed=seed + 1000)
+    m = CPRModel(
+        space=application.space, cells=8, rank=4, loss=loss, seed=seed,
+        **_LOSS_VARIANTS[loss],
+    ).fit(train.X, train.y)
+    return {"app": app, "loss": loss, "mlogq": float(m.score(test.X, test.y))}
+
+
+def run_loss(scale: str | None = None, seed: int = 0, runtime=None) -> dict:
     """Interpolation accuracy: log-MSE/ALS vs MLogQ2/AMN (same grid/rank)."""
     scale = resolve_scale(scale)
-    rows = []
-    for app_name in ("matmul", "exafmm"):
-        app = get_application(app_name)
-        train = get_dataset(app_name, _N_TRAIN[scale], seed=seed)
-        test = get_dataset(app_name, _N_TEST[scale], seed=seed + 1000)
-        for loss, extra in (
-            ("log_mse", {}),
-            ("mlogq2", {"max_sweeps": 2, "newton_iters": 15}),
-        ):
-            m = CPRModel(
-                space=app.space, cells=8, rank=4, loss=loss, seed=seed, **extra
-            ).fit(train.X, train.y)
-            rows.append((app_name, loss, m.score(test.X, test.y)))
+    specs = [
+        JobSpec(
+            "repro.experiments.ablations:run_loss_job",
+            {"app": app_name, "loss": loss, "scale": scale, "seed": seed},
+        )
+        for app_name in ("matmul", "exafmm")
+        for loss in _LOSS_VARIANTS
+    ]
+    rows = [(r["app"], r["loss"], r["mlogq"]) for r in execute(specs, runtime)]
     return {
         "headers": ["benchmark", "loss", "mlogq"],
         "rows": rows,
@@ -52,17 +71,29 @@ def run_loss(scale: str | None = None, seed: int = 0) -> dict:
     }
 
 
-def run_spacing(scale: str | None = None, seed: int = 0) -> dict:
+# -- spacing ------------------------------------------------------------------
+
+def run_spacing_job(*, spacing: str, scale: str, seed: int = 0) -> dict:
+    """Runtime job runner: one discretization-spacing fit on the MM kernel."""
+    train = get_dataset("matmul", _N_TRAIN[scale], seed=seed)
+    test = get_dataset("matmul", n_test(scale), seed=seed + 1000)
+    m = CPRModel(
+        space=None, scales=[spacing] * 3, cells=16, rank=4, seed=seed
+    ).fit(train.X, train.y)
+    return {"spacing": spacing, "mlogq": float(m.score(test.X, test.y))}
+
+
+def run_spacing(scale: str | None = None, seed: int = 0, runtime=None) -> dict:
     """Log vs uniform discretization of the MM kernel's size parameters."""
     scale = resolve_scale(scale)
-    train = get_dataset("matmul", _N_TRAIN[scale], seed=seed)
-    test = get_dataset("matmul", _N_TEST[scale], seed=seed + 1000)
-    rows = []
-    for spacing in ("log", "linear"):
-        m = CPRModel(
-            space=None, scales=[spacing] * 3, cells=16, rank=4, seed=seed
-        ).fit(train.X, train.y)
-        rows.append((spacing, m.score(test.X, test.y)))
+    specs = [
+        JobSpec(
+            "repro.experiments.ablations:run_spacing_job",
+            {"spacing": spacing, "scale": scale, "seed": seed},
+        )
+        for spacing in ("log", "linear")
+    ]
+    rows = [(r["spacing"], r["mlogq"]) for r in execute(specs, runtime)]
     return {
         "headers": ["spacing", "mlogq"],
         "rows": rows,
@@ -73,25 +104,49 @@ def run_spacing(scale: str | None = None, seed: int = 0) -> dict:
     }
 
 
-def run_optimizer(scale: str | None = None, seed: int = 0) -> dict:
-    """ALS vs CCD vs SGD: final objective and sweeps on one completion."""
-    scale = resolve_scale(scale)
+# -- optimizer ----------------------------------------------------------------
+
+_OPTIMIZERS = {
+    "als": (complete_als, {"max_sweeps": 30}),
+    "ccd": (complete_ccd, {"max_sweeps": 120}),
+    "sgd": (complete_sgd, {"max_sweeps": 120}),
+}
+
+
+def run_optimizer_job(*, optimizer: str, scale: str, seed: int = 0) -> dict:
+    """Runtime job runner: one optimizer on the shared MM completion problem."""
     train = get_dataset("matmul", _N_TRAIN[scale], seed=seed)
     app = get_application("matmul")
     grid = TensorGrid.from_space(app.space, 16, X=train.X)
     tensor = ObservedTensor.from_data(grid, train.X, train.y)
     targets = tensor.log_values() - float(np.mean(tensor.log_values()))
-    rows = []
-    for name, fn, kwargs in (
-        ("als", complete_als, {"max_sweeps": 30}),
-        ("ccd", complete_ccd, {"max_sweeps": 120}),
-        ("sgd", complete_sgd, {"max_sweeps": 120}),
-    ):
-        res = fn(
-            grid.shape, tensor.indices, targets, rank=4,
-            regularization=1e-5, seed=seed, **kwargs,
+    fn, kwargs = _OPTIMIZERS[optimizer]
+    res = fn(
+        grid.shape, tensor.indices, targets, rank=4,
+        regularization=1e-5, seed=seed, **kwargs,
+    )
+    return {
+        "optimizer": optimizer,
+        "final_objective": float(res.history[-1]),
+        "sweeps": int(res.n_sweeps),
+        "converged": bool(res.converged),
+    }
+
+
+def run_optimizer(scale: str | None = None, seed: int = 0, runtime=None) -> dict:
+    """ALS vs CCD vs SGD: final objective and sweeps on one completion."""
+    scale = resolve_scale(scale)
+    specs = [
+        JobSpec(
+            "repro.experiments.ablations:run_optimizer_job",
+            {"optimizer": name, "scale": scale, "seed": seed},
         )
-        rows.append((name, res.history[-1], res.n_sweeps, res.converged))
+        for name in _OPTIMIZERS
+    ]
+    rows = [
+        (r["optimizer"], r["final_objective"], r["sweeps"], r["converged"])
+        for r in execute(specs, runtime)
+    ]
     return {
         "headers": ["optimizer", "final_objective", "sweeps", "converged"],
         "rows": rows,

@@ -10,7 +10,15 @@ from __future__ import annotations
 
 import os
 
-__all__ = ["SCALES", "resolve_scale", "tuning_grid", "bench_apps", "train_sizes"]
+__all__ = [
+    "SCALES",
+    "resolve_scale",
+    "tuning_grid",
+    "bench_apps",
+    "train_sizes",
+    "n_test",
+    "time_budget",
+]
 
 SCALES = ("smoke", "full", "paper")
 
@@ -43,6 +51,20 @@ def train_sizes(scale: str) -> list[int]:
         "full": [2**10, 2**11, 2**12, 2**13],
         "paper": [2**10, 2**11, 2**12, 2**13, 2**14, 2**15, 2**16],
     }[scale]
+
+
+def n_test(scale: str) -> int:
+    """Test-set size shared by every accuracy figure at this scale."""
+    return {"smoke": 512, "full": 1024, "paper": 2048}[scale]
+
+
+def time_budget(scale: str) -> float:
+    """Per-model cumulative fit-time budget in seconds (Figures 6/7).
+
+    Mirrors the paper's exclusion of configurations optimizing in
+    >= 1000 seconds, scaled down for the smaller smoke/full problems.
+    """
+    return {"smoke": 60.0, "full": 300.0, "paper": 1000.0}[scale]
 
 
 # --- per-model tuning grids --------------------------------------------------

@@ -14,9 +14,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.metrics import mlogq
+from repro.runtime import JobSpec, execute
 from repro.utils.rng import as_generator
 
-__all__ = ["FUNCTIONS", "svd_mlogq_curve", "run"]
+__all__ = ["FUNCTIONS", "svd_mlogq_curve", "run", "build_jobs", "run_function_job"]
 
 
 def _f1(x, y):
@@ -61,16 +62,36 @@ def svd_mlogq_curve(M: np.ndarray, ranks, log_transform: bool) -> list[float]:
     return errs
 
 
-def run(scale: str | None = None, seed: int = 0) -> dict:
+_RANKS = [1, 2, 4, 8, 16, 32]
+
+
+def run_function_job(*, function: str, seed: int = 0) -> dict:
+    """Runtime job runner: both SVD rank curves for one test function."""
+    M = build_matrix(function, seed=seed)
+    raw = svd_mlogq_curve(M, _RANKS, log_transform=False)
+    log = svd_mlogq_curve(M, _RANKS, log_transform=True)
+    return {
+        "function": function,
+        "rows": [
+            [function, r, float(er), float(el)]
+            for r, er, el in zip(_RANKS, raw, log)
+        ],
+    }
+
+
+def build_jobs(scale: str | None = None, seed: int = 0) -> list:
+    """One job per discretized function."""
+    return [
+        JobSpec("repro.experiments.figure1:run_function_job", {"function": name, "seed": seed})
+        for name in FUNCTIONS
+    ]
+
+
+def run(scale: str | None = None, seed: int = 0, runtime=None) -> dict:
     """Reproduce Figure 1's series: per function, MLogQ vs SVD rank."""
-    ranks = [1, 2, 4, 8, 16, 32]
     rows = []
-    for name in FUNCTIONS:
-        M = build_matrix(name, seed=seed)
-        raw = svd_mlogq_curve(M, ranks, log_transform=False)
-        log = svd_mlogq_curve(M, ranks, log_transform=True)
-        for r, er, el in zip(ranks, raw, log):
-            rows.append((name, r, er, el))
+    for record in execute(build_jobs(scale, seed), runtime):
+        rows.extend(tuple(row) for row in record["rows"])
     return {
         "headers": ["function", "rank", "mlogq_raw", "mlogq_log"],
         "rows": rows,

@@ -6,16 +6,19 @@ resolution) for SGR — with MARS as the search-based-discretization
 reference.  The paper's headline findings, which the bench asserts loosely:
 CPR improves systematically with granularity given enough observations and
 beats SGR/MARS on the high-dimensional benchmarks by up to ~4x.
+
+One runtime job per (benchmark, model, granularity) point; SGR levels too
+large for a benchmark's dimensionality come back as cacheable skip
+records and are dropped from the table.
 """
 from __future__ import annotations
 
-from repro.apps import get_application
-from repro.experiments.config import bench_apps, resolve_scale
-from repro.experiments.harness import get_dataset, tune_model
+from repro.experiments.config import bench_apps, n_test, resolve_scale
+from repro.experiments.harness import tune_job_spec
+from repro.runtime import execute
 
-__all__ = ["run"]
+__all__ = ["run", "build_jobs"]
 
-_N_TEST = {"smoke": 512, "full": 1024, "paper": 2048}
 _N_TRAIN = {"smoke": 2**12, "full": 2**13, "paper": 2**15}
 
 _CPR_CELLS = {"smoke": (4, 8, 16), "full": (4, 8, 16, 32), "paper": (4, 8, 16, 32, 64, 128, 256)}
@@ -24,37 +27,48 @@ _SGR_LEVELS = {"smoke": (2, 3, 4), "full": (2, 3, 4, 5), "paper": (2, 3, 4, 5, 6
 _MARS_DEGREES = {"smoke": (1, 2), "full": (1, 2, 3), "paper": (1, 2, 3, 4, 5, 6)}
 
 
-def run(scale: str | None = None, seed: int = 0) -> dict:
-    scale = resolve_scale(scale)
-    rows = []
-    for app_name in bench_apps(scale):
-        app = get_application(app_name)
-        pool = get_dataset(app_name, _N_TRAIN[scale], seed=seed)
-        train = pool
-        test = get_dataset(app_name, _N_TEST[scale], seed=seed + 1000)
+def _tune_spec(app_name: str, model: str, grid: list, scale: str, seed: int):
+    return tune_job_spec(
+        app=app_name,
+        model=model,
+        n_train=_N_TRAIN[scale],
+        n_test=n_test(scale),
+        grid=grid,
+        seed=seed,
+    )
 
+
+def build_jobs(scale: str | None = None, seed: int = 0) -> list:
+    """Jobs and their granularity labels: ``[(spec, label), ...]``."""
+    scale = resolve_scale(scale)
+    labelled = []
+    for app_name in bench_apps(scale):
         for cells in _CPR_CELLS[scale]:
             grid = [
                 {"cells": cells, "rank": r, "regularization": 1e-5}
                 for r in _CPR_RANKS[scale]
             ]
-            res = tune_model("cpr", train, test, space=app.space, grid=grid, seed=seed)
-            rows.append((app_name, "cpr", f"C{cells}", res.best_error))
-
+            labelled.append((_tune_spec(app_name, "cpr", grid, scale, seed), f"C{cells}"))
         for level in _SGR_LEVELS[scale]:
             grid = [
                 {"level": level, "refinements": 0, "regularization": lam}
                 for lam in (1e-5, 1e-3)
             ]
-            try:
-                res = tune_model("sgr", train, test, space=app.space, grid=grid, seed=seed)
-            except RuntimeError:
-                continue  # level too large for this dimensionality
-            rows.append((app_name, "sgr", f"L{level}", res.best_error))
-
+            labelled.append((_tune_spec(app_name, "sgr", grid, scale, seed), f"L{level}"))
         grid = [{"max_degree": d} for d in _MARS_DEGREES[scale]]
-        res = tune_model("mars", train, test, space=app.space, grid=grid, seed=seed)
-        rows.append((app_name, "mars", "best", res.best_error))
+        labelled.append((_tune_spec(app_name, "mars", grid, scale, seed), "best"))
+    return labelled
+
+
+def run(scale: str | None = None, seed: int = 0, runtime=None) -> dict:
+    scale = resolve_scale(scale)
+    labelled = build_jobs(scale, seed)
+    records = execute([spec for spec, _ in labelled], runtime)
+    rows = []
+    for (spec, label), rec in zip(labelled, records):
+        if rec["skipped"]:  # e.g. SGR level too large for this dimensionality
+            continue
+        rows.append((rec["app"], rec["model"], label, rec["best_error"]))
     return {
         "headers": ["benchmark", "model", "granularity", "mlogq"],
         "rows": rows,

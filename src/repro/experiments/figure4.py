@@ -5,16 +5,17 @@ by raising CP rank while SGR refines its sparse grid adaptively.  The
 paper's conclusion (asserted loosely by the bench): CP rank is the most
 effective refinement mechanism among piecewise/grid-based models — even
 rank 4..8 CPR beats many-refinement SGR.
+
+One runtime job per (benchmark, fixed grid, refinement) point.
 """
 from __future__ import annotations
 
-from repro.apps import get_application
-from repro.experiments.config import bench_apps, resolve_scale
-from repro.experiments.harness import get_dataset, tune_model
+from repro.experiments.config import bench_apps, n_test, resolve_scale
+from repro.experiments.harness import tune_job_spec
+from repro.runtime import execute
 
-__all__ = ["run"]
+__all__ = ["run", "build_jobs"]
 
-_N_TEST = {"smoke": 512, "full": 1024, "paper": 2048}
 _N_TRAIN = {"smoke": 2**12, "full": 2**13, "paper": 2**15}
 
 _CPR_FIXED_CELLS = {"smoke": (8, 16), "full": (8, 32), "paper": (16, 64, 256)}
@@ -23,37 +24,51 @@ _SGR_FIXED_LEVELS = {"smoke": (2, 3), "full": (2, 3), "paper": (2, 3, 4)}
 _REFINEMENTS = {"smoke": (0, 2, 4), "full": (0, 2, 4, 8), "paper": (0, 1, 2, 4, 8, 16)}
 
 
-def run(scale: str | None = None, seed: int = 0) -> dict:
-    scale = resolve_scale(scale)
-    rows = []
-    for app_name in bench_apps(scale):
-        app = get_application(app_name)
-        train = get_dataset(app_name, _N_TRAIN[scale], seed=seed)
-        test = get_dataset(app_name, _N_TEST[scale], seed=seed + 1000)
+def _tune_spec(app_name: str, model: str, config: dict, scale: str, seed: int):
+    return tune_job_spec(
+        app=app_name,
+        model=model,
+        n_train=_N_TRAIN[scale],
+        n_test=n_test(scale),
+        grid=[config],
+        seed=seed,
+    )
 
+
+def build_jobs(scale: str | None = None, seed: int = 0) -> list:
+    """Jobs with their (model label, refinement) row keys."""
+    scale = resolve_scale(scale)
+    labelled = []
+    for app_name in bench_apps(scale):
         for cells in _CPR_FIXED_CELLS[scale]:
             for rank in _RANKS[scale]:
-                res = tune_model(
-                    "cpr", train, test, space=app.space,
-                    grid=[{"cells": cells, "rank": rank, "regularization": 1e-5}],
-                    seed=seed,
+                cfg = {"cells": cells, "rank": rank, "regularization": 1e-5}
+                labelled.append(
+                    (_tune_spec(app_name, "cpr", cfg, scale, seed), f"cpr-C{cells}", rank)
                 )
-                rows.append((app_name, f"cpr-C{cells}", rank, res.best_error))
-
         for level in _SGR_FIXED_LEVELS[scale]:
             for refs in _REFINEMENTS[scale]:
-                try:
-                    res = tune_model(
-                        "sgr", train, test, space=app.space,
-                        grid=[{
-                            "level": level, "refinements": refs,
-                            "refine_points": 16, "regularization": 1e-4,
-                        }],
-                        seed=seed,
-                    )
-                except RuntimeError:
-                    continue
-                rows.append((app_name, f"sgr-L{level}", refs, res.best_error))
+                cfg = {
+                    "level": level,
+                    "refinements": refs,
+                    "refine_points": 16,
+                    "regularization": 1e-4,
+                }
+                labelled.append(
+                    (_tune_spec(app_name, "sgr", cfg, scale, seed), f"sgr-L{level}", refs)
+                )
+    return labelled
+
+
+def run(scale: str | None = None, seed: int = 0, runtime=None) -> dict:
+    scale = resolve_scale(scale)
+    labelled = build_jobs(scale, seed)
+    records = execute([spec for spec, _, _ in labelled], runtime)
+    rows = []
+    for (spec, label, refinement), rec in zip(labelled, records):
+        if rec["skipped"]:
+            continue
+        rows.append((rec["app"], label, refinement, rec["best_error"]))
     return {
         "headers": ["benchmark", "model", "refinement", "mlogq"],
         "rows": rows,

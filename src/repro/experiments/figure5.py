@@ -6,45 +6,67 @@ density and the minimum error over CP ranks.  The paper's findings: error
 falls systematically with training size; higher-dimensional benchmarks
 tolerate far lower densities (AMG is most accurate at 0.07% density, while
 3-D MM wants >= 50%).
+
+Each (benchmark, cells, n_train) point is one runtime job
+(:func:`repro.experiments.harness.run_tune_job` with an embedded rank
+grid); ``run`` is a thin spec-builder + row formatter.
 """
 from __future__ import annotations
 
-from repro.apps import get_application
-from repro.core.grid import TensorGrid
-from repro.core.tensor import ObservedTensor
-from repro.datasets import subsample
-from repro.experiments.config import bench_apps, resolve_scale, train_sizes
-from repro.experiments.harness import get_dataset, tune_model
+from repro.experiments.config import bench_apps, n_test, resolve_scale, train_sizes
+from repro.experiments.harness import tune_job_spec
+from repro.runtime import execute
 
-__all__ = ["run"]
+__all__ = ["run", "build_jobs"]
 
-_N_TEST = {"smoke": 512, "full": 1024, "paper": 2048}
 _CELL_CHOICES = {"smoke": (8, 16), "full": (8, 16, 32), "paper": (8, 16, 32, 64)}
 _RANKS = {"smoke": (2, 4, 8), "full": (2, 4, 8, 16), "paper": (1, 2, 4, 8, 16, 32, 64)}
 
 
-def run(scale: str | None = None, seed: int = 0) -> dict:
+def build_jobs(scale: str | None = None, seed: int = 0) -> list:
+    """One job per (benchmark, cells/dim, training size) sweep point."""
     scale = resolve_scale(scale)
-    rows = []
     sizes = train_sizes(scale)
+    specs = []
     for app_name in bench_apps(scale):
-        app = get_application(app_name)
-        pool = get_dataset(app_name, max(sizes), seed=seed)
-        test = get_dataset(app_name, _N_TEST[scale], seed=seed + 1000)
         for cells in _CELL_CHOICES[scale]:
+            grid = [
+                {"cells": cells, "rank": r, "regularization": 1e-5}
+                for r in _RANKS[scale]
+            ]
             for n in sizes:
-                train = pool if n == len(pool) else subsample(pool, n, seed=seed + n)
-                grid_obj = TensorGrid.from_space(app.space, cells, X=train.X)
-                density = ObservedTensor.from_data(grid_obj, train.X, train.y).density
-                res = tune_model(
-                    "cpr", train, test, space=app.space,
-                    grid=[
-                        {"cells": cells, "rank": r, "regularization": 1e-5}
-                        for r in _RANKS[scale]
-                    ],
-                    seed=seed,
+                specs.append(
+                    tune_job_spec(
+                        app=app_name,
+                        model="cpr",
+                        n_train=n,
+                        n_test=n_test(scale),
+                        grid=grid,
+                        seed=seed,
+                        pool_n=max(sizes),
+                        subsample_seed=seed + n,
+                        density_cells=cells,
+                    )
                 )
-                rows.append((app_name, cells, n, density, res.best_error))
+    return specs
+
+
+def run(scale: str | None = None, seed: int = 0, runtime=None) -> dict:
+    scale = resolve_scale(scale)
+    specs = build_jobs(scale, seed)
+    rows = []
+    for spec, rec in zip(specs, execute(specs, runtime)):
+        if rec["skipped"]:  # no rank completed on this sweep point
+            continue
+        rows.append(
+            (
+                rec["app"],
+                spec.params["density_cells"],
+                rec["n_train"],
+                rec["density"],
+                rec["best_error"],
+            )
+        )
     return {
         "headers": ["benchmark", "cells/dim", "n_train", "density", "mlogq"],
         "rows": rows,

@@ -6,37 +6,60 @@ shape: CPR achieves the lowest error on the high-dimensional benchmarks at
 moderate-to-large training sizes; neural networks are the closest
 competitor; models optimizing in >= 1000 s are excluded (we use a scaled
 time budget).
+
+One runtime job per (benchmark, training size, model); the scale's tuning
+grid is resolved at spec-build time and embedded in the job params, so
+cached results invalidate when a grid definition changes.
 """
 from __future__ import annotations
 
-from repro.experiments.config import bench_apps, resolve_scale, train_sizes
-from repro.experiments.harness import interpolation_experiment
+from repro.experiments.config import (
+    bench_apps,
+    n_test,
+    resolve_scale,
+    time_budget,
+    train_sizes,
+    tuning_grid,
+)
+from repro.experiments.harness import tune_job_spec
+from repro.runtime import execute
 
-__all__ = ["run", "MODELS"]
+__all__ = ["run", "build_jobs", "MODELS"]
 
 MODELS = ["cpr", "sgr", "mars", "nn", "et", "gp", "knn", "svm", "rf", "gb"]
 
-_N_TEST = {"smoke": 512, "full": 1024, "paper": 2048}
-_BUDGET = {"smoke": 60.0, "full": 300.0, "paper": 1000.0}
 
-
-def run(scale: str | None = None, seed: int = 0, models=None) -> dict:
+def build_jobs(scale: str | None = None, seed: int = 0, models=None) -> list:
     scale = resolve_scale(scale)
     models = list(models or MODELS)
-    rows = []
+    specs = []
     for app_name in bench_apps(scale):
         for n in train_sizes(scale):
-            results = interpolation_experiment(
-                app_name,
-                n_train=n,
-                n_test=_N_TEST[scale],
-                models=models,
-                scale=scale,
-                seed=seed,
-                time_budget_s=_BUDGET[scale],
-            )
-            for name, res in results.items():
-                rows.append((app_name, n, name, res.best_error, res.best_size_bytes))
+            for name in models:
+                specs.append(
+                    tune_job_spec(
+                        app=app_name,
+                        model=name,
+                        n_train=n,
+                        n_test=n_test(scale),
+                        grid=tuning_grid(name, scale),
+                        seed=seed,
+                        time_budget_s=time_budget(scale),
+                    )
+                )
+    return specs
+
+
+def run(scale: str | None = None, seed: int = 0, models=None, runtime=None) -> dict:
+    scale = resolve_scale(scale)
+    specs = build_jobs(scale, seed, models)
+    rows = []
+    for rec in execute(specs, runtime):
+        if rec["skipped"]:
+            continue
+        rows.append(
+            (rec["app"], rec["n_train"], rec["model"], rec["best_error"], rec["best_size_bytes"])
+        )
     return {
         "headers": ["benchmark", "n_train", "model", "best_mlogq", "size_bytes"],
         "rows": rows,

@@ -7,42 +7,53 @@ comparable accuracy to KNN/GP on low-dimensional kernels at orders of
 magnitude less memory, and outright best accuracy on the six-plus-parameter
 applications at ~50x less memory than the best MLP.  Models over the size
 cap (10 MB in the paper) are dropped.
+
+One runtime job per (benchmark, model); frontiers are recomputed from the
+cached per-configuration records client-side.
 """
 from __future__ import annotations
 
-from repro.apps import get_application
-from repro.datasets import subsample
-from repro.experiments.config import bench_apps, resolve_scale
+from repro.experiments.config import bench_apps, n_test, resolve_scale, time_budget, tuning_grid
 from repro.experiments.figure6 import MODELS
-from repro.experiments.harness import get_dataset, tune_model
+from repro.experiments.harness import TuneResult, tune_job_spec
+from repro.runtime import execute
 
-__all__ = ["run"]
+__all__ = ["run", "build_jobs"]
 
 _N_TRAIN = {"smoke": 2**11, "full": 2**13, "paper": 8192}
-_N_TEST = {"smoke": 512, "full": 1024, "paper": 2048}
 _SIZE_CAP = 10 * 1024 * 1024  # the paper's 10 MB exclusion
-_BUDGET = {"smoke": 60.0, "full": 300.0, "paper": 1000.0}
 
 
-def run(scale: str | None = None, seed: int = 0, models=None) -> dict:
+def build_jobs(scale: str | None = None, seed: int = 0, models=None) -> list:
     scale = resolve_scale(scale)
     models = list(models or MODELS)
-    rows = []
+    specs = []
     for app_name in bench_apps(scale):
-        app = get_application(app_name)
-        train = get_dataset(app_name, _N_TRAIN[scale], seed=seed)
-        test = get_dataset(app_name, _N_TEST[scale], seed=seed + 1000)
         for name in models:
-            try:
-                res = tune_model(
-                    name, train, test, space=app.space, scale=scale, seed=seed,
-                    time_budget_s=_BUDGET[scale],
+            specs.append(
+                tune_job_spec(
+                    app=app_name,
+                    model=name,
+                    n_train=_N_TRAIN[scale],
+                    n_test=n_test(scale),
+                    grid=tuning_grid(name, scale),
+                    seed=seed,
+                    time_budget_s=time_budget(scale),
                 )
-            except RuntimeError:
-                continue
-            for size, err in res.pareto:
-                if size <= _SIZE_CAP:
-                    rows.append((app_name, name, size, err))
+            )
+    return specs
+
+
+def run(scale: str | None = None, seed: int = 0, models=None, runtime=None) -> dict:
+    scale = resolve_scale(scale)
+    specs = build_jobs(scale, seed, models)
+    rows = []
+    for rec in execute(specs, runtime):
+        if rec["skipped"]:
+            continue
+        for size, err in TuneResult.from_record(rec).pareto:
+            if size <= _SIZE_CAP:
+                rows.append((rec["app"], rec["model"], size, err))
     return {
         "headers": ["benchmark", "model", "size_bytes", "mlogq"],
         "rows": rows,

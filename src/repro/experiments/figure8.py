@@ -16,6 +16,15 @@ use the interpolation pipeline and — per the paper — overfit the training
 range.  Expected shape: CPR clearly best on numerical-parameter
 extrapolation (mm_m, mm_mnk, bc_msg); node-count extrapolation is its
 acknowledged weak spot, where it only matches KNN.
+
+One runtime job per (scenario, model): each job rebuilds the scenario's
+deterministic pool and replays a *per-scenario* train/test subsampling
+stream (``seed + 7``).  The stream never depended on the model loop, so
+rows are identical for any worker count or model subset; unlike the old
+sequential sweep — which threaded one stream across scenarios, making a
+scenario's draws depend on which scenarios ran before it — each
+scenario's numbers are now also independent of scenario selection, the
+property the result cache needs.
 """
 from __future__ import annotations
 
@@ -25,9 +34,10 @@ from repro.apps import get_application
 from repro.experiments.config import resolve_scale
 from repro.experiments.registry import make_model
 from repro.metrics import mlogq
+from repro.runtime import JobSpec, execute
 from repro.utils.rng import as_generator
 
-__all__ = ["run", "build_pool", "SCENARIOS", "DEFAULT_MODELS"]
+__all__ = ["run", "build_jobs", "build_pool", "run_scenario_job", "SCENARIOS", "DEFAULT_MODELS"]
 
 DEFAULT_MODELS = ["cpr", "nn", "et", "gp", "knn", "mars"]
 
@@ -42,12 +52,19 @@ def _snap_pow2(col: np.ndarray, lo_exp: int, hi_exp: int) -> np.ndarray:
     return 2.0**e
 
 
+#: Worker-side pool memo: several (scenario, model) jobs share one pool.
+_POOL_CACHE: dict = {}
+
+
 def build_pool(app_name: str, n: int, seed: int):
-    """Sample a configuration pool and measure it.
+    """Sample a configuration pool and measure it (memoized per process).
 
     Broadcast node/ppn counts are snapped to powers of two before
     measurement, matching the paper's execution grid for the BC kernel.
     """
+    key = (app_name, int(n), int(seed))
+    if key in _POOL_CACHE:
+        return _POOL_CACHE[key]
     app = get_application(app_name)
     rng = as_generator(seed)
     X = app.space.sample(n, rng)
@@ -55,6 +72,9 @@ def build_pool(app_name: str, n: int, seed: int):
         X[:, 0] = _snap_pow2(X[:, 0], 0, 7)  # nodes in {1..128}
         X[:, 1] = _snap_pow2(X[:, 1], 0, 6)  # ppn in {1..64}
     y = app.measure(X, rng=rng)
+    if len(_POOL_CACHE) >= 8:  # a scenario sweep needs at most two pools
+        _POOL_CACHE.clear()
+    _POOL_CACHE[key] = (app, X, y)
     return app, X, y
 
 
@@ -100,46 +120,81 @@ _CPR_EXTRAP = {
 }
 
 
-def run(scale: str | None = None, seed: int = 0, models=None, scenarios=None) -> dict:
+def run_scenario_job(*, scenario: str, model: str, scale: str, seed: int = 0) -> dict:
+    """Runtime job runner: one model across one scenario's train cutoffs.
+
+    The per-scenario subsampling stream (``seed + 7``: one test draw,
+    then one train draw per cutoff) is replayed identically in every
+    job — it was never advanced by the model loop — so per-(cutoff,
+    model) errors are independent of which models or worker counts run.
+    """
+    sc = SCENARIOS[scenario]
+    app, X, y = build_pool(sc["app"], _POOL[scale], seed)
+    space = app.space
+    rng = as_generator(seed + 7)
+    test_mask = np.ones(len(X), dtype=bool)
+    for pname, (lo, hi) in sc["test"].items():
+        col = space.column(X, pname)
+        test_mask &= (col >= lo) & (col <= hi)
+    test_rows = np.flatnonzero(test_mask)
+    if len(test_rows) > _TEST_CAP[scale]:
+        test_rows = rng.choice(test_rows, size=_TEST_CAP[scale], replace=False)
+    Xte, yte = X[test_rows], y[test_rows]
+
+    points = []
+    for N in sc["cutoffs"]:
+        train_mask = np.ones(len(X), dtype=bool)
+        for pname in sc["params"]:
+            train_mask &= space.column(X, pname) < N
+        train_rows = np.flatnonzero(train_mask)
+        if len(train_rows) < 64:
+            continue
+        if len(train_rows) > _TRAIN_CAP[scale]:
+            train_rows = rng.choice(train_rows, size=_TRAIN_CAP[scale], replace=False)
+        Xtr, ytr = X[train_rows], y[train_rows]
+        params = dict(_CPR_EXTRAP) if model == "cpr" else None
+        m = make_model(model, params, space=space, seed=seed)
+        try:
+            m.fit(Xtr, ytr)
+            err = mlogq(m.predict(Xte), yte)
+        except (RuntimeError, np.linalg.LinAlgError, ValueError):
+            continue
+        points.append([int(N), float(err)])
+    return {"scenario": scenario, "model": model, "points": points}
+
+
+def build_jobs(scale: str | None = None, seed: int = 0, models=None, scenarios=None) -> list:
     scale = resolve_scale(scale)
     models = list(models or DEFAULT_MODELS)
     scenarios = scenarios or list(SCENARIOS)
-    rng = as_generator(seed + 7)
+    return [
+        JobSpec(
+            "repro.experiments.figure8:run_scenario_job",
+            {"scenario": sc_name, "model": name, "scale": scale, "seed": seed},
+        )
+        for sc_name in scenarios
+        for name in models
+    ]
+
+
+def run(scale: str | None = None, seed: int = 0, models=None, scenarios=None, runtime=None) -> dict:
+    scale = resolve_scale(scale)
+    models = list(models or DEFAULT_MODELS)
+    scenarios = scenarios or list(SCENARIOS)
+    specs = build_jobs(scale, seed, models, scenarios)
+    by_job = {
+        (rec["scenario"], rec["model"]): {n: err for n, err in rec["points"]}
+        for rec in execute(specs, runtime)
+    }
+    # Reassemble the historical row order: scenario-major, then cutoff,
+    # then model (rows whose fit failed or lacked data are absent).
     rows = []
     for sc_name in scenarios:
-        sc = SCENARIOS[sc_name]
-        app, X, y = build_pool(sc["app"], _POOL[scale], seed)
-        space = app.space
-        test_mask = np.ones(len(X), dtype=bool)
-        for pname, (lo, hi) in sc["test"].items():
-            col = space.column(X, pname)
-            test_mask &= (col >= lo) & (col <= hi)
-        test_rows = np.flatnonzero(test_mask)
-        if len(test_rows) > _TEST_CAP[scale]:
-            test_rows = rng.choice(test_rows, size=_TEST_CAP[scale], replace=False)
-        Xte, yte = X[test_rows], y[test_rows]
-
-        for N in sc["cutoffs"]:
-            train_mask = np.ones(len(X), dtype=bool)
-            for pname in sc["params"]:
-                train_mask &= space.column(X, pname) < N
-            train_rows = np.flatnonzero(train_mask)
-            if len(train_rows) < 64:
-                continue
-            if len(train_rows) > _TRAIN_CAP[scale]:
-                train_rows = rng.choice(
-                    train_rows, size=_TRAIN_CAP[scale], replace=False
-                )
-            Xtr, ytr = X[train_rows], y[train_rows]
+        for N in SCENARIOS[sc_name]["cutoffs"]:
             for name in models:
-                params = dict(_CPR_EXTRAP) if name == "cpr" else None
-                model = make_model(name, params, space=space, seed=seed)
-                try:
-                    model.fit(Xtr, ytr)
-                    err = mlogq(model.predict(Xte), yte)
-                except (RuntimeError, np.linalg.LinAlgError, ValueError):
-                    continue
-                rows.append((sc_name, N, name, err))
+                err = by_job[(sc_name, name)].get(N)
+                if err is not None:
+                    rows.append((sc_name, N, name, err))
     return {
         "headers": ["scenario", "train_cutoff_N", "model", "mlogq"],
         "rows": rows,

@@ -9,6 +9,7 @@ the grid (see :mod:`repro.experiments.config`).
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,26 +18,53 @@ from repro.apps import get_application
 from repro.datasets import Dataset, generate_dataset, subsample
 from repro.experiments.config import resolve_scale, tuning_grid
 from repro.experiments.registry import make_model
-from repro.metrics import mlogq
+from repro.metrics import METRICS, mlogq
 
 __all__ = [
     "get_dataset",
     "evaluate_model",
     "tune_model",
     "interpolation_experiment",
+    "run_tune_job",
+    "tune_job_spec",
     "TuneResult",
 ]
 
-_DATASET_CACHE: dict[tuple, Dataset] = {}
+#: Bounded process-local dataset cache.  Sweeps at paper scale touch more
+#: (app, size, seed) pools than fit comfortably in memory forever, so the
+#: cache evicts least-recently-used entries beyond this bound; runtime
+#: workers inherit the same mechanism for their per-worker dataset reuse.
+_DATASET_CACHE_MAX = 64
+_DATASET_CACHE: OrderedDict[tuple, Dataset] = OrderedDict()
+
+
+def _sigma_key(sigma):
+    """Hashable canonical form of a noise override (scalar, sequence, or None)."""
+    if sigma is None:
+        return None
+    arr = np.asarray(sigma, dtype=float)
+    if arr.ndim == 0:
+        return float(arr)
+    return tuple(float(v) for v in arr.ravel())
 
 
 def get_dataset(app_name: str, n: int, seed: int = 0, sigma=None) -> Dataset:
-    """Generate (and cache) a dataset for a benchmark application."""
-    key = (app_name, int(n), int(seed), sigma)
-    if key not in _DATASET_CACHE:
-        app = get_application(app_name)
-        _DATASET_CACHE[key] = generate_dataset(app, n, seed=seed, sigma=sigma)
-    return _DATASET_CACHE[key]
+    """Generate (and cache) a dataset for a benchmark application.
+
+    The cache key canonicalizes ``sigma`` (lists/arrays hash as value
+    tuples) and the cache itself is LRU-bounded, so long sweeps cannot
+    grow it without limit.
+    """
+    key = (app_name, int(n), int(seed), _sigma_key(sigma))
+    if key in _DATASET_CACHE:
+        _DATASET_CACHE.move_to_end(key)
+        return _DATASET_CACHE[key]
+    app = get_application(app_name)
+    ds = generate_dataset(app, n, seed=seed, sigma=sigma)
+    _DATASET_CACHE[key] = ds
+    while len(_DATASET_CACHE) > _DATASET_CACHE_MAX:
+        _DATASET_CACHE.popitem(last=False)
+    return ds
 
 
 def evaluate_model(model, train: Dataset, test: Dataset, metric=mlogq) -> dict:
@@ -61,6 +89,30 @@ class TuneResult:
     best_params: dict
     best_size_bytes: int
     results: list = field(default_factory=list)  # (params, error, size, time)
+
+    def to_record(self) -> dict:
+        """JSON-serializable form of this result (the runtime job payload)."""
+        return {
+            "model": self.model,
+            "best_error": float(self.best_error),
+            "best_params": dict(self.best_params),
+            "best_size_bytes": int(self.best_size_bytes),
+            "results": [
+                [dict(p), float(e), int(s), float(t)]
+                for p, e, s, t in self.results
+            ],
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "TuneResult":
+        """Rebuild a :class:`TuneResult` from a runtime job record."""
+        return cls(
+            model=record["model"],
+            best_error=record["best_error"],
+            best_params=record["best_params"],
+            best_size_bytes=record["best_size_bytes"],
+            results=[tuple(r) for r in record.get("results", [])],
+        )
 
     @property
     def pareto(self) -> list:
@@ -134,22 +186,114 @@ def interpolation_experiment(
 
     Training and test sets are sampled independently from the same
     configuration space (paper Section 2.1); the training set is a random
-    subsample of a cached pool so size sweeps reuse measurements.
+    subsample of a cached pool so size sweeps reuse measurements.  Thin
+    wrapper over :func:`run_tune_job` — one call per model, same dataset
+    convention as the runtime jobs — kept for the legacy in-process API.
     """
     scale = resolve_scale(scale)
-    app = get_application(app_name)
-    pool = get_dataset(app_name, max(n_train, 1), seed=seed)
-    train = pool if len(pool) == n_train else subsample(pool, n_train, seed=seed + 1)
-    test = get_dataset(app_name, n_test, seed=seed + 1000)
     out = {}
     for name in models:
-        out[name] = tune_model(
-            name,
-            train,
-            test,
-            space=app.space,
+        record = run_tune_job(
+            app=app_name,
+            model=name,
+            n_train=n_train,
+            n_test=n_test,
             scale=scale,
             seed=seed,
             time_budget_s=time_budget_s,
         )
+        if record["skipped"]:
+            raise RuntimeError(record["reason"])
+        out[name] = TuneResult.from_record(record)
     return out
+
+
+def run_tune_job(
+    *,
+    app: str,
+    model: str,
+    n_train: int,
+    n_test: int,
+    grid: list | None = None,
+    scale: str | None = None,
+    seed: int = 0,
+    pool_n: int | None = None,
+    subsample_seed: int | None = None,
+    time_budget_s: float | None = None,
+    density_cells=None,
+    metric: str = "mlogq",
+) -> dict:
+    """Runtime job runner: one model's hyper-parameter sweep on one dataset.
+
+    This is the declarative form of the figure drivers' inner loops — a
+    pure function of its keyword arguments, so its result is cacheable by
+    the spec hash.  The training set is drawn from a cached pool of
+    ``pool_n`` rows (default ``n_train``); when ``n_train`` is smaller
+    than the pool it is subsampled with ``subsample_seed`` (default
+    ``seed + 1``, the :func:`interpolation_experiment` convention).  When
+    ``density_cells`` is given, the record also reports the observed-cell
+    density of the training tensor on that grid (Figure 5's x-axis).
+
+    Returns a JSON-serializable record; sweeps where no configuration
+    completes yield ``{"skipped": True, ...}`` instead of raising so the
+    skip itself is cacheable.
+
+    Purity caveat: ``time_budget_s`` is the paper's *wall-clock* exclusion
+    rule (configurations optimizing in >= 1000 s are dropped), so where a
+    budgeted sweep truncates its grid can vary with machine load — the
+    one documented exception to the runtime's same-spec-same-record
+    contract.  The result cache pins whichever truncation was observed
+    first, which keeps subsequent reruns reproducible.
+    """
+    from repro.core.grid import TensorGrid
+    from repro.core.tensor import ObservedTensor
+
+    application = get_application(app)
+    pool = get_dataset(app, int(pool_n) if pool_n is not None else max(int(n_train), 1), seed=seed)
+    if int(n_train) == len(pool):
+        train = pool
+    else:
+        sub_seed = subsample_seed if subsample_seed is not None else seed + 1
+        train = subsample(pool, int(n_train), seed=sub_seed)
+    test = get_dataset(app, int(n_test), seed=seed + 1000)
+
+    record: dict = {"app": app, "model": model, "n_train": int(n_train)}
+    if density_cells is not None:
+        grid_obj = TensorGrid.from_space(application.space, density_cells, X=train.X)
+        tensor = ObservedTensor.from_data(grid_obj, train.X, train.y)
+        record["density"] = float(tensor.density)
+    try:
+        res = tune_model(
+            model,
+            train,
+            test,
+            space=application.space,
+            grid=grid,
+            scale=scale,
+            seed=seed,
+            metric=METRICS[metric],
+            time_budget_s=time_budget_s,
+        )
+    except RuntimeError as exc:
+        record.update(skipped=True, reason=str(exc))
+        return record
+    record.update(skipped=False, **res.to_record())
+    return record
+
+
+def tune_job_spec(**params):
+    """The canonical :func:`run_tune_job` spec for the figure drivers.
+
+    Single home for the job param contract: every figure builds its
+    tuning jobs here, so a renamed/added parameter (which changes every
+    cache key) cannot desynchronize across drivers.  Grids are
+    canonicalized to JSON-normal form (see
+    :func:`repro.experiments.registry.canonical_params`).
+    """
+    from repro.experiments.registry import canonical_params
+    from repro.runtime import JobSpec
+
+    grid = params.get("grid")
+    if grid is not None:
+        params["grid"] = [canonical_params(g) for g in grid]
+    return JobSpec("repro.experiments.harness:run_tune_job", params)

@@ -26,7 +26,7 @@ from repro.baselines import (
 from repro.baselines.base import Regressor
 from repro.core import CPRModel
 
-__all__ = ["MODEL_NAMES", "make_model", "BaselinePipeline"]
+__all__ = ["MODEL_NAMES", "make_model", "canonical_params", "BaselinePipeline"]
 
 #: Paper abbreviations -> human names (Section 6.0.4).
 MODEL_NAMES = {
@@ -87,6 +87,21 @@ _FACTORIES = {
 }
 
 _SEEDED = {"nn", "rf", "gb", "et", "gp", "svm"}
+
+
+def canonical_params(params: dict | None) -> dict:
+    """JSON-canonical form of a hyper-parameter dict.
+
+    Runtime job specs embed resolved grids and hash them by content, so
+    the tuple-bearing grids in :mod:`repro.experiments.config` (e.g. the
+    MLP's ``hidden`` widths) are normalized to plain JSON types first.
+    Every model factory accepts this form interchangeably with the
+    original — sequences reach constructors that coerce them (e.g.
+    ``MLPRegressor`` tuples ``hidden`` itself), scalars are unchanged.
+    """
+    from repro.runtime.spec import to_jsonable
+
+    return to_jsonable(dict(params or {}))
 
 
 def make_model(name: str, params: dict | None = None, space: ParameterSpace | None = None, seed=0):

@@ -12,15 +12,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.metrics import METRICS, epsilon_form
+from repro.runtime import JobSpec, execute
 from repro.utils.rng import as_generator
 
-__all__ = ["run"]
+__all__ = ["run", "build_jobs", "run_table_job"]
 
 _EXACT_ROWS = ("mape", "mae", "mse", "smape", "lgmape")
 _TAYLOR_ROWS = ("mlogq", "mlogq2")
 
 
-def run(scale: str | None = None, seed: int = 0, n: int = 4096) -> dict:
+def run_table_job(*, seed: int = 0, n: int = 4096) -> dict:
+    """Runtime job runner: the whole equivalence table (one draw stream)."""
     rng = as_generator(seed)
     rows = []
     for eps_mag in (0.5, 0.01):
@@ -33,7 +35,20 @@ def run(scale: str | None = None, seed: int = 0, n: int = 4096) -> dict:
             gap = abs(direct - via_eps)
             rel_gap = gap / max(abs(direct), 1e-30)
             kind = "exact" if name in _EXACT_ROWS else "taylor"
-            rows.append((name, kind, eps_mag, direct, via_eps, rel_gap))
+            rows.append([name, kind, eps_mag, float(direct), float(via_eps), float(rel_gap)])
+    return {"rows": rows}
+
+
+def build_jobs(scale: str | None = None, seed: int = 0, n: int = 4096) -> list:
+    """A single job: both epsilon magnitudes share one RNG stream."""
+    return [
+        JobSpec("repro.experiments.table1:run_table_job", {"seed": seed, "n": n})
+    ]
+
+
+def run(scale: str | None = None, seed: int = 0, n: int = 4096, runtime=None) -> dict:
+    (record,) = execute(build_jobs(scale, seed, n), runtime)
+    rows = [tuple(row) for row in record["rows"]]
     return {
         "headers": ["metric", "equivalence", "eps_scale", "direct", "eps_form", "rel_gap"],
         "rows": rows,

@@ -1,0 +1,36 @@
+"""Parallel, resumable experiment runtime.
+
+The paper's evaluation is a large sweep — ~10 model families x
+hyper-parameter grids x 6 applications x several training-set sizes,
+re-fitted per figure.  This package turns that workload into declarative
+*jobs* that can be executed in parallel and cached on disk:
+
+:class:`~repro.runtime.spec.JobSpec`
+    A declarative job: the import path of a runner function plus a
+    JSON-canonical parameter dict.  Content-addressed via a SHA-256 of the
+    canonical spec (:attr:`JobSpec.key`).
+:class:`~repro.runtime.cache.ResultCache`
+    On-disk result store keyed by spec hash; one JSON record per job, so
+    sweeps are resumable and incrementally re-runnable.
+:class:`~repro.runtime.executor.Runtime`
+    Sequential or process-pool executor with deterministic per-job
+    seeding and per-worker dataset reuse (workers share the harness's
+    process-local dataset cache).
+
+Figure drivers build job lists (``build_jobs``) and submit them through
+:func:`~repro.runtime.executor.execute`; ``python -m repro.experiments``
+exposes the ``--jobs`` and ``--cache-dir`` knobs.
+"""
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Runtime, execute
+from repro.runtime.spec import CACHE_SCHEMA_VERSION, JobSpec, canonical, to_jsonable
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "JobSpec",
+    "ResultCache",
+    "Runtime",
+    "canonical",
+    "execute",
+    "to_jsonable",
+]

@@ -1,0 +1,156 @@
+"""Job execution: sequential fallback and the process-pool path.
+
+Determinism contract (see DESIGN.md, "Runtime & caching"):
+
+* every randomized quantity a runner consumes is derived from seeds in
+  its spec params (the experiment layer already threads explicit seeds
+  everywhere), so a job's result is independent of which worker runs it
+  and in what order;
+* as a belt-and-braces measure the executor additionally seeds numpy's
+  *legacy* global RNG per job from the spec hash before invoking the
+  runner, so stray ``np.random.*`` calls in model code cannot couple jobs
+  through shared process state;
+* results are normalized through a JSON round-trip before they are
+  returned or cached, so the sequential path, the pool path, and a
+  cache-hit replay yield byte-identical records.
+
+Worker-side dataset reuse comes for free: runners go through
+``repro.experiments.harness.get_dataset``, whose bounded cache is
+process-local, so a worker that executes several jobs for the same
+application generates its measurement pool once.
+"""
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+import numpy as np
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.spec import JobSpec, resolve_runner, to_jsonable
+
+__all__ = ["Runtime", "execute"]
+
+
+def _run_one(item):
+    """Execute one ``(fn, params, key)`` triple (top-level: picklable).
+
+    Returns ``(record, elapsed_seconds)`` — the job's own wall time, so
+    cached timings identify slow jobs rather than batch averages.
+    """
+    fn_path, params, key = item
+    np.random.seed(int(key[:8], 16) % 2**32)
+    t0 = time.perf_counter()
+    result = resolve_runner(fn_path)(**params)
+    record = json.loads(json.dumps(to_jsonable(result)))
+    return record, time.perf_counter() - t0
+
+
+class Runtime:
+    """Executes job lists sequentially or on a process pool, with caching.
+
+    Parameters
+    ----------
+    jobs
+        Worker-process count.  ``1`` (the default) preserves the
+        historical sequential in-process behaviour exactly — no pool, no
+        pickling, just a loop over the runners.
+    cache_dir
+        Directory for the content-addressed :class:`ResultCache`.  When
+        ``None``, nothing is persisted and every job executes.
+
+    ``hits``/``executed`` count cache hits and actually-run jobs across
+    the runtime's lifetime; :meth:`snapshot` lets callers report per-sweep
+    deltas.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir=None):
+        self.jobs = max(int(jobs), 1)
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.hits = 0
+        self.executed = 0
+
+    def snapshot(self) -> tuple:
+        """Current ``(hits, executed)`` counters."""
+        return (self.hits, self.executed)
+
+    def _record(self, spec: JobSpec, record, elapsed: float) -> None:
+        """Book-keep one finished job (counter + cache write)."""
+        self.executed += 1
+        if self.cache is not None:
+            self.cache.put(spec, record, elapsed=elapsed)
+
+    def run(self, specs: list) -> list:
+        """Execute ``specs`` and return their records in submission order.
+
+        Cached jobs are answered from disk without executing anything;
+        the remainder run sequentially (``jobs == 1``) or on a process
+        pool.  Records are cached *as each job completes*, so a sweep
+        interrupted or failed mid-batch keeps every finished job and
+        resumes from exactly the missing ones.
+        """
+        specs = list(specs)
+        for spec in specs:
+            if not isinstance(spec, JobSpec):
+                raise TypeError(f"expected JobSpec, got {type(spec).__name__}")
+        results: list = [None] * len(specs)
+        pending = []
+        for i, spec in enumerate(specs):
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                results[i] = cached
+                self.hits += 1
+            else:
+                pending.append(i)
+        if not pending:
+            return results
+
+        items = [(specs[i].fn, specs[i].params, specs[i].key) for i in pending]
+        if self.jobs == 1 or len(pending) == 1:
+            # In-process path: the per-job reseeding must not leak into the
+            # caller's global RNG stream (historical sequential behaviour).
+            saved_rng = np.random.get_state()
+            try:
+                for i, item in zip(pending, items):
+                    record, elapsed = _run_one(item)
+                    results[i] = record
+                    self._record(specs[i], record, elapsed)
+            finally:
+                np.random.set_state(saved_rng)
+        else:
+            workers = min(self.jobs, len(pending))
+            failure = None
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_run_one, item): i
+                    for item, i in zip(items, pending)
+                }
+                for fut in as_completed(futures):
+                    i = futures[fut]
+                    try:
+                        record, elapsed = fut.result()
+                    except BaseException as exc:
+                        # Keep consuming so finished jobs still get cached;
+                        # surface the first failure afterwards.
+                        if failure is None:
+                            failure = exc
+                        continue
+                    results[i] = record
+                    self._record(specs[i], record, elapsed)
+            if failure is not None:
+                raise failure
+        return results
+
+    def __repr__(self):
+        where = self.cache.root if self.cache is not None else None
+        return f"Runtime(jobs={self.jobs}, cache_dir={where!r})"
+
+
+def execute(specs: list, runtime: Runtime | None = None) -> list:
+    """Run ``specs`` through ``runtime``, or a sequential uncached default.
+
+    This is the single entry point figure drivers use; passing
+    ``runtime=None`` reproduces the pre-runtime sequential behaviour.
+    """
+    return (runtime if runtime is not None else Runtime()).run(specs)

@@ -1,0 +1,121 @@
+"""Declarative job specifications and content-addressed hashing.
+
+A :class:`JobSpec` names a *runner* — a top-level importable function,
+``"package.module:function"`` — and the keyword arguments to call it with.
+Runners must be pure with respect to their spec: the same spec must
+produce the same (JSON-serializable) result record regardless of process,
+ordering, or worker count.  That contract is what makes results cacheable
+by content address and sweeps resumable.
+
+The cache key is a SHA-256 over the *canonical JSON* form of the spec
+(sorted keys, tuples as lists, numpy scalars as Python numbers) plus
+:data:`CACHE_SCHEMA_VERSION`.  Anything that should invalidate cached
+results — the runner's identity, every hyper-parameter grid entry, seeds,
+scales — must therefore live inside ``params``; spec builders embed
+resolved grids rather than grid *names* so editing a grid definition
+changes the key.
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from importlib import import_module
+
+import numpy as np
+
+__all__ = ["CACHE_SCHEMA_VERSION", "JobSpec", "canonical", "resolve_runner", "to_jsonable"]
+
+#: Bump to invalidate every cached record (e.g. after a semantic change to
+#: dataset generation or model fitting that job params cannot capture).
+CACHE_SCHEMA_VERSION = 1
+
+
+def to_jsonable(obj):
+    """Recursively convert ``obj`` to plain JSON types.
+
+    Tuples become lists, numpy scalars become Python numbers, numpy arrays
+    become nested lists, and dict keys are stringified.  The result of a
+    runner passes through here before caching, so fresh and cache-loaded
+    results are structurally identical (the parallel == sequential ==
+    cached equality the acceptance tests assert).
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(v) for v in obj.tolist()]
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        seq = sorted(obj) if isinstance(obj, (set, frozenset)) else obj
+        return [to_jsonable(v) for v in seq]
+    raise TypeError(f"cannot make {type(obj).__name__} JSON-canonical: {obj!r}")
+
+
+def canonical(obj) -> str:
+    """Canonical JSON text of ``obj`` (sorted keys, no whitespace)."""
+    return json.dumps(to_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def resolve_runner(fn_path: str):
+    """Import and return the runner named by ``"module:function"``."""
+    module, sep, name = fn_path.partition(":")
+    if not sep or not module or not name:
+        raise ValueError(f"runner path must be 'module:function', got {fn_path!r}")
+    fn = getattr(import_module(module), name, None)
+    if not callable(fn):
+        raise ValueError(f"runner {fn_path!r} does not resolve to a callable")
+    return fn
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One declarative unit of experiment work.
+
+    Parameters
+    ----------
+    fn
+        Import path of the runner, ``"package.module:function"``.  The
+        runner is called as ``fn(**params)`` and must return a
+        JSON-serializable dict.
+    params
+        Keyword arguments for the runner.  Values must be JSON-canonical
+        or convertible by :func:`to_jsonable` (tuples and numpy scalars
+        are fine); the runner's own ``seed`` argument belongs here so the
+        cache key captures it.
+    """
+
+    fn: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        module, sep, name = self.fn.partition(":")
+        if not sep or not module or not name:
+            raise ValueError(f"fn must be 'module:function', got {self.fn!r}")
+
+    @property
+    def key(self) -> str:
+        """Content address: SHA-256 of the canonical spec + schema version."""
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "fn": self.fn,
+            "params": self.params,
+        }
+        return hashlib.sha256(canonical(payload).encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable label for logs."""
+        name = self.fn.rsplit(":", 1)[-1]
+        hints = [
+            str(self.params[k])
+            for k in ("app", "model", "scenario", "n_train")
+            if k in self.params
+        ]
+        inner = ", ".join(hints) if hints else f"{len(self.params)} params"
+        return f"{name}({inner})"

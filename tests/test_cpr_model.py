@@ -3,7 +3,7 @@ import numpy as np
 import pytest
 
 from repro.apps import MatMul
-from repro.core import CPRModel
+from repro.core import CPRModel, TuckerModel
 from repro.utils import load_model, save_model
 
 
@@ -200,6 +200,51 @@ class TestPersistence:
         save_model(m, path)
         m2 = load_model(path)
         np.testing.assert_allclose(m2.predict(X[:50]), m.predict(X[:50]))
+
+    def test_disk_size_matches_size_bytes(self, smooth_2d, tmp_path):
+        """Persistence and size accounting share the minimal state.
+
+        Regression: save_model used to pickle the full fitted object —
+        fit-time buffers included — so on-disk size diverged from the
+        reported ``size_bytes`` by the training-set footprint.
+        """
+        X, y = smooth_2d
+        m = CPRModel(cells=8, rank=2, seed=0).fit(X, y)
+        m.predict(X[:10])  # populate lazy caches; size must not change
+        written = save_model(m, tmp_path / "cpr.pkl")
+        # identical state + a small constant class tag, nothing else
+        assert 0 < written - m.size_bytes < 256
+        # far below the full pickled object (which drags tensor_ along)
+        import pickle
+
+        assert written < len(pickle.dumps(m.tensor_))
+
+    def test_roundtrip_mlogq2_with_extrapolation(self, smooth_2d, tmp_path):
+        X, y = smooth_2d
+        m = CPRModel(cells=6, rank=2, loss="mlogq2", seed=0,
+                     max_sweeps=1, newton_iters=6).fit(X, y)
+        Xq = X[:20].copy()
+        Xq[:10, 0] = X[:, 0].max() * 10.0  # out-of-domain -> extrapolators
+        save_model(m, tmp_path / "pos.pkl")
+        m2 = load_model(tmp_path / "pos.pkl")
+        np.testing.assert_array_equal(m2.predict(Xq), m.predict(Xq))
+
+    def test_roundtrip_tucker(self, smooth_2d, tmp_path):
+        X, y = smooth_2d
+        m = TuckerModel(cells=6, rank=2, seed=0).fit(X, y)
+        save_model(m, tmp_path / "tucker.pkl")
+        m2 = load_model(tmp_path / "tucker.pkl")
+        assert isinstance(m2, TuckerModel)
+        np.testing.assert_array_equal(m2.predict(X[:50]), m.predict(X[:50]))
+        assert m2.n_parameters == m.n_parameters
+
+    def test_restored_model_refuses_partial_fit(self, smooth_2d, tmp_path):
+        X, y = smooth_2d
+        m = CPRModel(cells=8, rank=2, seed=0).fit(X, y)
+        save_model(m, tmp_path / "cpr.pkl")
+        m2 = load_model(tmp_path / "cpr.pkl")
+        with pytest.raises(RuntimeError, match="minimal"):
+            m2.partial_fit(X[:10], y[:10])
 
 
 class TestOptimizerChoices:

@@ -89,6 +89,26 @@ class TestHarness:
         b = get_dataset("matmul", 128, seed=3)
         assert a is b
 
+    def test_dataset_cache_sigma_list_hashable(self):
+        """Regression: list/ndarray sigma used to TypeError on key hashing."""
+        a = get_dataset("matmul", 64, seed=4, sigma=[0.05])
+        b = get_dataset("matmul", 64, seed=4, sigma=np.array([0.05]))
+        assert a is b  # canonicalized to the same key
+        c = get_dataset("matmul", 64, seed=4, sigma=0.05)
+        assert c is not a  # scalar sigma is a distinct key shape
+
+    def test_dataset_cache_bounded(self):
+        """Regression: the cache used to grow without bound across sweeps."""
+        from repro.experiments import harness
+
+        harness._DATASET_CACHE.clear()
+        for seed in range(harness._DATASET_CACHE_MAX + 10):
+            get_dataset("matmul", 16, seed=seed)
+        assert len(harness._DATASET_CACHE) == harness._DATASET_CACHE_MAX
+        # most-recently-used entries survive eviction
+        newest = get_dataset("matmul", 16, seed=harness._DATASET_CACHE_MAX + 9)
+        assert get_dataset("matmul", 16, seed=harness._DATASET_CACHE_MAX + 9) is newest
+
     def test_evaluate_model(self, mm_data):
         app, train, test = mm_data
         model = make_model("knn", {"k": 2}, space=app.space)
@@ -151,3 +171,21 @@ class TestCLI:
 
         with pytest.raises(SystemExit):
             main(["figure99"])
+
+    def test_main_jobs_and_cache_dir(self, capsys, tmp_path):
+        from repro.experiments.__main__ import main
+
+        cache = tmp_path / "cache"
+        assert main(["figure1", "--jobs", "2", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "[runtime] figure1: 3 jobs, 0 cache hits, 3 executed" in out
+        # warm rerun: everything answered from the cache, nothing executed
+        assert main(["figure1", "--jobs", "2", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "[runtime] figure1: 3 jobs, 3 cache hits, 0 executed" in out
+
+    def test_main_rejects_bad_jobs(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["figure1", "--jobs", "0"])

@@ -5,7 +5,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apps import AMG, ExaFMM, MatMul
+from repro.apps.base import Parameter, ParameterSpace
 from repro.core.grid import CategoricalMode, LogMode, TensorGrid, UniformMode
+from repro.core.model import _grid_from_data
 
 
 class TestUniformMode:
@@ -136,6 +138,50 @@ class TestTensorGridFromSpace:
     def test_cells_list_wrong_length(self):
         with pytest.raises(ValueError):
             TensorGrid.from_space(MatMul().space, [2, 3])
+
+
+class TestDegenerateColumns:
+    """Constant data columns must widen into a valid (low < high) range.
+
+    Regression: the old relative widening ``low * (1 + 1e-9) + 1e-12``
+    lands *below* ``low`` for negative constants, so ``UniformMode``
+    raised "edges must be strictly increasing".
+    """
+
+    def _signed_space(self):
+        return ParameterSpace(
+            [
+                Parameter("t", role="config", low=-10.0, high=10.0),
+                Parameter("u", role="config", low=0.0, high=5.0),
+            ],
+            name="signed",
+        )
+
+    @pytest.mark.parametrize("const", [-5.0, 0.0, 3.0])
+    def test_from_space_constant_column(self, const):
+        X = np.column_stack([np.full(20, const), np.linspace(0.1, 4.9, 20)])
+        grid = TensorGrid.from_space(self._signed_space(), 4, X=X)
+        mode = grid.modes[0]
+        assert mode.low == pytest.approx(const)
+        assert mode.high > mode.low
+        # the constant value itself must land in a valid cell
+        assert 0 <= mode.cell_of([const])[0] < mode.n_cells
+
+    @pytest.mark.parametrize("const", [-5.0, 0.0])
+    def test_grid_from_data_constant_column(self, const):
+        X = np.column_stack([np.full(16, const), np.linspace(1.0, 2.0, 16)])
+        grid = _grid_from_data(X, 4)
+        mode = grid.modes[0]
+        assert mode.low == pytest.approx(const)
+        assert mode.high > mode.low
+
+    def test_from_space_constant_positive_log_param(self):
+        # Log-scaled parameters keep their relative widening semantics.
+        space = MatMul().space
+        X = np.full((12, 3), 64.0)
+        grid = TensorGrid.from_space(space, 8, X=X)
+        for mode in grid.modes:
+            assert mode.high > mode.low > 0
 
 
 class TestTensorGrid:
