@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Bench-regression gate: diff fresh BENCH_*.json entries against baseline.
+
+``results/BENCH_<name>.json`` files are trajectories — each benchmark run
+*appends* one entry (see ``_report.report_perf``).  In CI the checkout
+carries the committed baseline entries and the bench job appends a fresh
+one, so the gate is simply: compare the last entry against the previous
+one and fail on any wall-clock metric (``*_s`` fields, lower is better)
+that slowed down by more than the threshold (default 30%).
+
+Usage::
+
+    python benchmarks/_compare.py                 # gate every BENCH_*.json
+    python benchmarks/_compare.py completion serve
+    python benchmarks/_compare.py --threshold 1.5 --results path/to/results
+
+Exit status 1 on regression, 0 otherwise.  Files with fewer than two
+entries (no baseline yet) pass with a note — a brand-new benchmark
+cannot regress.
+
+Caveat: the baseline entry was recorded on whatever machine last
+committed it, so a CI comparison usually crosses hardware (each entry
+records its ``host``).  When the fresh and baseline hosts differ, the
+threshold is multiplied by ``--cross-host-factor`` (default 2.0) so the
+gate still catches order-of-magnitude regressions without failing on
+runner-vs-laptop variance; same-host comparisons (local dev, or a
+baseline refreshed from CI artifacts) get the tight threshold.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def _records_by_config(entry: dict) -> dict:
+    """Map ``config`` label -> record for one trajectory entry."""
+    out = {}
+    for record in entry.get("records", []):
+        out[str(record.get("config", "?"))] = record
+    return out
+
+
+def compare_file(
+    path: Path, threshold: float, cross_host_factor: float = 2.0
+) -> tuple[list, list]:
+    """Return (regressions, lines) for one BENCH_*.json trajectory."""
+    history = json.loads(path.read_text())
+    if not isinstance(history, list) or len(history) < 2:
+        return [], [f"{path.name}: no baseline entry yet ({len(history)} run(s)) — skipped"]
+
+    base_entry, fresh_entry = history[-2], history[-1]
+    hosts = (base_entry.get("host", "?"), fresh_entry.get("host", "?"))
+    if hosts[0] != hosts[1]:
+        threshold *= cross_host_factor
+    lines = [
+        f"{path.name}: baseline {base_entry.get('revision', '?')} "
+        f"({base_entry.get('timestamp', '?')}, host {hosts[0]}) vs fresh "
+        f"{fresh_entry.get('revision', '?')} ({fresh_entry.get('timestamp', '?')}, "
+        f"host {hosts[1]})"
+        + (f" — cross-host, threshold {threshold:.2f}x" if hosts[0] != hosts[1] else "")
+    ]
+    regressions = []
+    base_records = _records_by_config(base_entry)
+    for config, fresh in _records_by_config(fresh_entry).items():
+        base = base_records.get(config)
+        if base is None:
+            lines.append(f"  {config}: new configuration — skipped")
+            continue
+        for key, fresh_val in sorted(fresh.items()):
+            # ``*_s`` = gated kernel wall-clock seconds (lower is better).
+            # ``*_per_s`` throughputs and non-``_s`` fields (``_qps``,
+            # ``loop_seconds`` baselines) are reported, not gated.
+            if not key.endswith("_s") or key.endswith("_per_s"):
+                continue
+            if not isinstance(fresh_val, (int, float)):
+                continue
+            base_val = base.get(key)
+            if not isinstance(base_val, (int, float)) or base_val <= 0:
+                continue
+            ratio = fresh_val / base_val
+            mark = "  "
+            if ratio > threshold:
+                mark = "!!"
+                regressions.append((path.name, config, key, base_val, fresh_val, ratio))
+            lines.append(
+                f"  {mark} {config}.{key}: {base_val:.4f}s -> {fresh_val:.4f}s "
+                f"({ratio:.2f}x)"
+            )
+    return regressions, lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("names", nargs="*",
+                        help="benchmark names (e.g. completion serve); "
+                             "default: every results/BENCH_*.json")
+    parser.add_argument("--results", type=Path, default=DEFAULT_RESULTS)
+    parser.add_argument("--threshold", type=float, default=1.3,
+                        help="fail when fresh/baseline exceeds this "
+                             "(default 1.3 = 30%% slowdown)")
+    parser.add_argument("--cross-host-factor", type=float, default=2.0,
+                        help="multiply the threshold by this when the "
+                             "baseline was recorded on a different host "
+                             "(1.0 disables the relaxation)")
+    args = parser.parse_args(argv)
+
+    if args.names:
+        paths = [args.results / f"BENCH_{n}.json" for n in args.names]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(f"missing trajectory files: {[str(p) for p in missing]}")
+            return 1
+    else:
+        paths = sorted(args.results.glob("BENCH_*.json"))
+        if not paths:
+            print(f"no BENCH_*.json under {args.results}")
+            return 1
+
+    all_regressions = []
+    for path in paths:
+        regressions, lines = compare_file(
+            path, args.threshold, args.cross_host_factor
+        )
+        print("\n".join(lines))
+        all_regressions.extend(regressions)
+
+    if all_regressions:
+        print(f"\nFAIL: {len(all_regressions)} metric(s) slowed down beyond "
+              "the threshold:")
+        for file, config, key, base, fresh, ratio in all_regressions:
+            print(f"  {file}:{config}.{key}  {base:.4f}s -> {fresh:.4f}s "
+                  f"({ratio:.2f}x)")
+        return 1
+    print("\nOK: no kernel slowed down beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ throughput against history.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import subprocess
 import time
@@ -21,6 +22,20 @@ from pathlib import Path
 from repro.utils import format_table
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def perf_asserts_enabled() -> bool:
+    """Whether wall-clock perf assertions should run in this environment.
+
+    Shared CI runners are too noisy for hard wall-clock ratio thresholds,
+    so assertions are skipped whenever ``CI`` is set — the CI bench job
+    gates regressions through ``benchmarks/_compare.py`` (a 30% slowdown
+    diff against the committed baseline) instead.  Set
+    ``REPRO_PERF_ASSERT=1`` to force the assertions anywhere.
+    """
+    if os.environ.get("REPRO_PERF_ASSERT") == "1":
+        return True
+    return not os.environ.get("CI")
 
 
 def run_once(benchmark, fn, **kwargs):

@@ -1,6 +1,4 @@
 """Benchmark: Figure 5 — CPR accuracy vs training size and tensor density."""
-import numpy as np
-
 from repro.experiments import figure5
 
 from _report import report, run_once

@@ -3,7 +3,7 @@ import numpy as np
 
 from repro.experiments import figure8
 
-from _report import report, run_once, series
+from _report import report, run_once
 
 
 def test_figure8_extrapolation(benchmark):

@@ -1,3 +1,37 @@
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_here = Path(__file__).resolve().parent
+_readme = _here / "README.md"
+
+setup(
+    name="repro-tensor-completion",
+    version="1.0.0",  # keep in sync with repro.__version__
+    description=(
+        "Reproduction of 'Application Performance Modeling via Tensor "
+        "Completion' (SC 2023): CP/Tucker grid models, baselines, "
+        "experiment drivers, and a model-serving subsystem"
+    ),
+    long_description=_readme.read_text() if _readme.exists() else "",
+    long_description_content_type="text/markdown",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=[
+        "numpy>=1.22",
+        "scipy>=1.8",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        "lint": ["ruff"],
+    },
+    entry_points={
+        "console_scripts": [
+            # `repro-experiments figure5 --scale smoke` etc.
+            "repro-experiments=repro.experiments.__main__:main",
+            # `repro-serve --registry DIR --http 8000`
+            "repro-serve=repro.serve.server:main",
+        ],
+    },
+)

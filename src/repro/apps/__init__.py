@@ -5,14 +5,14 @@ Each module provides an :class:`~repro.apps.base.Application` subclass whose
 structurally realistic stand-in for Stampede2 measurements (see DESIGN.md,
 "Substitutions").
 """
+from repro.apps.amg import AMG
 from repro.apps.base import Application, Parameter, ParameterSpace
-from repro.apps.noise import LogNormalNoise, NoNoise, hash01, hash_perturb
-from repro.apps.matmul import MatMul
-from repro.apps.qr import QR
 from repro.apps.bcast import Broadcast
 from repro.apps.exafmm import ExaFMM
-from repro.apps.amg import AMG
 from repro.apps.kripke import Kripke
+from repro.apps.matmul import MatMul
+from repro.apps.noise import LogNormalNoise, NoNoise, hash01, hash_perturb
+from repro.apps.qr import QR
 
 #: Registry of benchmark name -> application factory (paper's abbreviations).
 APPLICATIONS = {

@@ -22,7 +22,7 @@ Parameter roles follow the paper's taxonomy:
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 import numpy as np

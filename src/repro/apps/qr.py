@@ -16,8 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.apps.base import Application, Parameter, ParameterSpace
-from repro.apps.noise import hash_perturb
 from repro.apps.matmul import effective_bandwidth
+from repro.apps.noise import hash_perturb
 
 __all__ = ["QR", "SPACE"]
 

@@ -5,18 +5,18 @@ The paper evaluates CPR against sparse grid regression (SG++), MARS
 available offline, so each model family is implemented here in vectorized
 NumPy with the hyper-parameter axes the paper sweeps.
 """
-from repro.baselines.base import Regressor, LogSpaceRegressor
-from repro.baselines.preprocess import FeatureMap
-from repro.baselines.linear import OLSRegressor, RidgeRegressor, PMNFRegressor
-from repro.baselines.knn import KNNRegressor
-from repro.baselines.tree import DecisionTreeRegressor
-from repro.baselines.forest import RandomForestRegressor, ExtraTreesRegressor
+from repro.baselines.base import LogSpaceRegressor, Regressor
 from repro.baselines.boosting import GradientBoostingRegressor
-from repro.baselines.mlp import MLPRegressor
+from repro.baselines.forest import ExtraTreesRegressor, RandomForestRegressor
 from repro.baselines.gp import GaussianProcessRegressor
-from repro.baselines.svm import SVMRegressor
+from repro.baselines.knn import KNNRegressor
+from repro.baselines.linear import OLSRegressor, PMNFRegressor, RidgeRegressor
 from repro.baselines.mars import MARSRegressor
+from repro.baselines.mlp import MLPRegressor
+from repro.baselines.preprocess import FeatureMap
 from repro.baselines.sgr import SparseGridRegressor
+from repro.baselines.svm import SVMRegressor
+from repro.baselines.tree import DecisionTreeRegressor
 
 __all__ = [
     "Regressor",

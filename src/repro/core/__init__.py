@@ -18,14 +18,14 @@ Submodules
     :class:`CPRModel`, the public fit/predict API.
 """
 from repro.core.grid import (
-    Mode,
-    UniformMode,
-    LogMode,
     CategoricalMode,
+    LogMode,
+    Mode,
     TensorGrid,
+    UniformMode,
 )
-from repro.core.tensor import ObservedTensor
 from repro.core.model import CPRModel, TuckerModel
+from repro.core.tensor import ObservedTensor
 
 __all__ = [
     "Mode",

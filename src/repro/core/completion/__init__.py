@@ -12,22 +12,22 @@
   historically first completion method the paper cites (Tomasi & Bro).
 """
 from repro.core.completion.state import (
-    init_factors,
-    init_positive_factors,
-    cp_eval,
-    cp_full,
-    cp_size_bytes,
-    khatri_rao_rows,
     CompletionResult,
     ModePlan,
     ObservationPlan,
+    cp_eval,
+    cp_full,
+    cp_size_bytes,
+    init_factors,
+    init_positive_factors,
+    khatri_rao_rows,
     solve_batched_spd,
 )
 from repro.core.completion.als import complete_als
-from repro.core.completion.ccd import complete_ccd
-from repro.core.completion.sgd import complete_sgd
 from repro.core.completion.amn import complete_amn
+from repro.core.completion.ccd import complete_ccd
 from repro.core.completion.lm import complete_lm
+from repro.core.completion.sgd import complete_sgd
 
 OPTIMIZERS = {
     "als": complete_als,

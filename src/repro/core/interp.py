@@ -134,6 +134,12 @@ def interpolate(grid: TensorGrid, corner_eval, X: np.ndarray, active=None) -> np
         :func:`interpolation_weights`); Section 5.3 disables interpolation
         along extrapolated modes by passing ``False`` there.
     """
+    X = grid._check(X)
+    if len(X) == 0:
+        # Empty batches are legal (a serving microbatch can flush empty on
+        # shutdown); never invoke ``corner_eval`` on zero corners, since
+        # extrapolating corner evaluators assume at least one row.
+        return np.zeros(0)
     idx, w, _ = corner_stack(grid, X, active)
     C, n = w.shape
     vals = np.asarray(corner_eval(idx), dtype=float).reshape(C, n)

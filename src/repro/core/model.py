@@ -354,16 +354,82 @@ class CPRModel:
 
     # -- prediction -------------------------------------------------------------
 
-    def predict(self, X) -> np.ndarray:
-        """Predicted execution times for configurations ``X``."""
+    def validate_queries(self, X) -> np.ndarray:
+        """Normalize a prediction batch to a finite ``(n, d)`` float array.
+
+        The single validation gate for every prediction entry point:
+        :meth:`predict` calls it inline, and the serving layer
+        (:class:`repro.serve.PredictionEngine`) calls it to reject a bad
+        batch *before* it reaches the vectorized kernels, so one malformed
+        query in a microbatch cannot poison its batchmates' results.
+
+        Raises ``ValueError`` on wrong dimensionality, a column-count
+        mismatch with the fitted grid, or non-finite entries (NaN would
+        silently propagate through the corner blend as garbage).
+        """
         self._require_fitted()
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
             X = X[:, None]
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
         if X.shape[1] != self.grid_.order:
             raise ValueError(
                 f"X must have {self.grid_.order} columns, got {X.shape[1]}"
             )
+        if X.size and not np.all(np.isfinite(X)):
+            bad = np.flatnonzero(~np.isfinite(X).all(axis=1))[:5]
+            raise ValueError(
+                f"queries contain non-finite values (rows {bad.tolist()}...)"
+            )
+        return X
+
+    def describe(self) -> dict:
+        """JSON-serializable summary of the fitted model's query contract.
+
+        Served to clients (the ``models`` op of :mod:`repro.serve.server`)
+        so they can discover column order, per-mode domains, and scales
+        without deserializing the model itself.
+        """
+        self._require_fitted()
+        modes = []
+        for m in self.grid_.modes:
+            entry = {
+                "name": m.name,
+                "kind": type(m).__name__,
+                "cells": int(m.n_cells),
+                "interpolates": bool(m.interpolates),
+            }
+            if hasattr(m, "edges"):
+                entry["low"] = float(m.edges[0])
+                entry["high"] = float(m.edges[-1])
+            modes.append(entry)
+        return {
+            "class": type(self).__name__,
+            "loss": self.loss,
+            "rank": self.rank,
+            "order": self.grid_.order,
+            "shape": list(self.grid_.shape),
+            "out_of_domain": self.out_of_domain,
+            "modes": modes,
+        }
+
+    def predict(self, X, *, validate: bool = True) -> np.ndarray:
+        """Predicted execution times for configurations ``X``.
+
+        Batched end to end: all rows of ``X`` flow through one fused
+        corner-blend evaluation (see :func:`repro.core.interp.interpolate`),
+        so this is also the serving fast path — callers should pass query
+        *batches*, not loop per point.  ``validate=False`` skips
+        :meth:`validate_queries` for callers that already ran it (the
+        serving engine validates per request before microbatch coalescing;
+        re-scanning each flush would be pure overhead).
+        """
+        if validate:
+            X = self.validate_queries(X)
+        else:
+            self._require_fitted()
+            X = np.asarray(X, dtype=float)
         policy = self.out_of_domain
         if policy == "auto":
             policy = "extrapolate" if self.loss == "mlogq2" else "clip"

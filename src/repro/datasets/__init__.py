@@ -1,9 +1,9 @@
 """Dataset generation: sampling, splits, and the paper's extrapolation cuts."""
 from repro.datasets.sampling import Dataset, generate_dataset, subsample
 from repro.datasets.splits import (
+    PAPER_TEST_SIZES,
     extrapolation_split,
     threshold_mask,
-    PAPER_TEST_SIZES,
 )
 
 __all__ = [

@@ -7,14 +7,14 @@ selects problem sizes: ``"smoke"`` (seconds-scale, default for CI),
 ``"full"`` (minutes), ``"paper"`` (the paper's training sizes).
 """
 from repro.experiments.config import SCALES, resolve_scale, tuning_grid
-from repro.experiments.registry import make_model, canonical_params, MODEL_NAMES
 from repro.experiments.harness import (
-    get_dataset,
-    tune_model,
     evaluate_model,
+    get_dataset,
     interpolation_experiment,
     run_tune_job,
+    tune_model,
 )
+from repro.experiments.registry import MODEL_NAMES, canonical_params, make_model
 
 __all__ = [
     "SCALES",

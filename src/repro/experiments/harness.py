@@ -222,6 +222,8 @@ def run_tune_job(
     time_budget_s: float | None = None,
     density_cells=None,
     metric: str = "mlogq",
+    publish_dir=None,
+    publish_name: str | None = None,
 ) -> dict:
     """Runtime job runner: one model's hyper-parameter sweep on one dataset.
 
@@ -237,6 +239,15 @@ def run_tune_job(
     Returns a JSON-serializable record; sweeps where no configuration
     completes yield ``{"skipped": True, ...}`` instead of raising so the
     skip itself is cacheable.
+
+    Publish-after-fit: when ``publish_dir`` is given, the sweep's best
+    configuration is refitted on the training set and published to the
+    :class:`repro.serve.ModelRegistry` at that directory (name
+    ``publish_name`` or ``"<app>-<model>"``), and the record gains a
+    ``published`` entry with the assigned version and digest.  Publishing
+    is a side effect outside the purity contract: a cache *hit* replays
+    the record without re-publishing (the registry already has that
+    version).
 
     Purity caveat: ``time_budget_s`` is the paper's *wall-clock* exclusion
     rule (configurations optimizing in >= 1000 s are dropped), so where a
@@ -278,6 +289,28 @@ def run_tune_job(
         record.update(skipped=True, reason=str(exc))
         return record
     record.update(skipped=False, **res.to_record())
+    if publish_dir is not None:
+        from repro.serve import ModelRegistry
+
+        best = make_model(model, res.best_params, space=application.space, seed=seed)
+        best.fit(train.X, train.y)
+        registry = ModelRegistry(publish_dir)
+        mv = registry.publish(
+            publish_name or f"{app}-{model}",
+            best,
+            meta={
+                "app": app,
+                "model": model,
+                "n_train": int(n_train),
+                "params": dict(res.best_params),
+                "error": float(res.best_error),
+            },
+        )
+        record["published"] = {
+            "name": mv.name,
+            "version": mv.version,
+            "digest": mv.digest,
+        }
     return record
 
 

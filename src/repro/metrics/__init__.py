@@ -1,16 +1,16 @@
 """Error metrics for performance-model assessment (paper Table 1, Section 2.2)."""
 from repro.metrics.errors import (
-    mape,
-    mae,
-    mse,
-    smape,
-    lgmape,
-    mlogq,
-    mlogq2,
-    log_q,
-    relative_errors,
     METRICS,
     epsilon_form,
+    lgmape,
+    log_q,
+    mae,
+    mape,
+    mlogq,
+    mlogq2,
+    mse,
+    relative_errors,
+    smape,
 )
 
 __all__ = [

@@ -59,15 +59,24 @@ class Runtime:
     cache_dir
         Directory for the content-addressed :class:`ResultCache`.  When
         ``None``, nothing is persisted and every job executes.
+    on_result
+        Optional callback ``(spec, record) -> None`` invoked in the
+        *driver* process for each job that actually executed (cache hits
+        are skipped — their side effects already happened).  This is the
+        publish-after-fit hook: the serving layer registers a callback
+        that pushes freshly fitted models into a
+        :class:`repro.serve.ModelRegistry` as sweeps complete (see
+        ``run_tune_job``'s ``publish_dir`` for the job-level variant).
 
     ``hits``/``executed`` count cache hits and actually-run jobs across
     the runtime's lifetime; :meth:`snapshot` lets callers report per-sweep
     deltas.
     """
 
-    def __init__(self, jobs: int = 1, cache_dir=None):
+    def __init__(self, jobs: int = 1, cache_dir=None, on_result=None):
         self.jobs = max(int(jobs), 1)
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.on_result = on_result
         self.hits = 0
         self.executed = 0
 
@@ -80,6 +89,8 @@ class Runtime:
         self.executed += 1
         if self.cache is not None:
             self.cache.put(spec, record, elapsed=elapsed)
+        if self.on_result is not None:
+            self.on_result(spec, record)
 
     def run(self, specs: list) -> list:
         """Execute ``specs`` and return their records in submission order.

@@ -1,0 +1,7 @@
+"""``python -m repro.serve`` — the CLI model server (see server.py)."""
+import sys
+
+from repro.serve.server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

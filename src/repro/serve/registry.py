@@ -1,0 +1,287 @@
+"""Content-addressed, versioned model store (the serving "publish" side).
+
+Layout (everything under one registry root directory)::
+
+    objects/<sha256>.pkl        # model blobs, named by digest of their bytes
+    models/<name>/v<NNNN>.json  # version manifests: {"digest", "meta", ...}
+
+Blobs are immutable and deduplicated: publishing the same fitted model
+twice stores one object and two manifests.  Version numbers are dense
+integers starting at 1; "latest" is simply the highest number present.
+
+Concurrency model
+-----------------
+* **Cross-process**: blobs are written atomically (temp file +
+  ``os.replace``); version manifests are fully written to a temp file
+  and then *claimed* with an atomic ``os.link``, so two processes
+  publishing the same name race cleanly — each gets its own version,
+  and a manifest is never observable half-written (its content exists
+  before its version number does).
+* **In-process**: all public methods are safe to call from many threads;
+  a single ``RLock`` guards the in-memory LRU.
+* **Staleness**: the LRU cache is keyed by *digest*, never by name.
+  ``load(name)`` re-resolves ``name -> digest`` from the manifest on
+  every call, so a re-publish is visible immediately and a cached entry
+  can never be served for the wrong version.
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.utils.serialization import dumps_model, loads_model
+
+__all__ = ["ModelRegistry", "ModelVersion"]
+
+#: Filesystem-safe model names (also the server's request-side contract).
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+_MANIFEST_RE = re.compile(r"^v(\d+)\.json$")
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One published (name, version) pointer into the object store."""
+
+    name: str
+    version: int
+    digest: str
+    created: float
+    meta: dict
+
+    @property
+    def ref(self) -> str:
+        """Human-readable ``name@vN`` reference."""
+        return f"{self.name}@v{self.version}"
+
+    def to_record(self) -> dict:
+        """JSON form (what the server returns for ``models`` requests)."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "digest": self.digest,
+            "created": self.created,
+            "meta": dict(self.meta),
+        }
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via temp file + rename (never half-written)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ModelRegistry:
+    """Store/load named, versioned models with an in-memory LRU cache.
+
+    Parameters
+    ----------
+    root
+        Registry directory (created on first use).
+    cache_size
+        Maximum number of deserialized models kept in memory.  ``0``
+        disables caching (every load deserializes from disk).
+    """
+
+    def __init__(self, root, cache_size: int = 8):
+        self.root = Path(root)
+        self.cache_size = max(int(cache_size), 0)
+        self._lock = threading.RLock()
+        self._cache: OrderedDict[str, object] = OrderedDict()  # digest -> model
+        self._hits = 0
+        self._misses = 0
+        (self.root / "objects").mkdir(parents=True, exist_ok=True)
+        (self.root / "models").mkdir(parents=True, exist_ok=True)
+
+    # -- paths -----------------------------------------------------------------
+
+    def _object_path(self, digest: str) -> Path:
+        return self.root / "objects" / f"{digest}.pkl"
+
+    def _model_dir(self, name: str) -> Path:
+        return self.root / "models" / name
+
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise ValueError(
+                f"bad model name {name!r}: need [A-Za-z0-9._-]+, starting "
+                "with an alphanumeric"
+            )
+        return name
+
+    # -- publishing ------------------------------------------------------------
+
+    def publish(self, name: str, model, meta: dict | None = None) -> ModelVersion:
+        """Store ``model`` as the next version of ``name``; return the pointer.
+
+        The blob write is idempotent (same bytes -> same object file).  The
+        manifest is serialized *before* any filesystem change (a
+        non-JSON-serializable ``meta`` fails cleanly) and its version
+        number is claimed with an atomic ``os.link`` of the fully-written
+        temp file, so concurrent publishers of the same name each get a
+        distinct version and no reader can ever observe a partial or
+        corrupt manifest as "latest".
+        """
+        self._check_name(name)
+        data = dumps_model(model)
+        digest = hashlib.sha256(data).hexdigest()
+        obj_path = self._object_path(digest)
+        if not obj_path.exists():
+            _atomic_write_bytes(obj_path, data)
+
+        mdir = self._model_dir(name)
+        mdir.mkdir(parents=True, exist_ok=True)
+        meta = dict(meta or {})
+        while True:
+            version = self._latest_version_number(name) + 1
+            record = {
+                "name": name,
+                "version": version,
+                "digest": digest,
+                "created": time.time(),
+                "meta": meta,
+            }
+            text = json.dumps(record, indent=1)  # may raise: before any claim
+            path = mdir / f"v{version:04d}.json"
+            fd, tmp = tempfile.mkstemp(dir=mdir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(text)
+                os.link(tmp, path)  # atomic claim of this version number
+            except FileExistsError:
+                continue  # another publisher claimed it; take the next
+            finally:
+                os.unlink(tmp)
+            return ModelVersion(
+                name, version, digest, record["created"], record["meta"]
+            )
+
+    # -- resolution ------------------------------------------------------------
+
+    def _version_numbers(self, name: str) -> list[int]:
+        mdir = self._model_dir(name)
+        if not mdir.is_dir():
+            return []
+        out = []
+        for entry in os.listdir(mdir):
+            m = _MANIFEST_RE.match(entry)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    def _latest_version_number(self, name: str) -> int:
+        numbers = self._version_numbers(name)
+        return numbers[-1] if numbers else 0
+
+    def resolve(self, name: str, version: int | None = None) -> ModelVersion:
+        """The :class:`ModelVersion` for ``name`` (latest when unversioned).
+
+        Always reads the manifest from disk — resolution is the freshness
+        point of the registry; only immutable blobs are ever cached.
+        """
+        self._check_name(name)
+        if version is None:
+            version = self._latest_version_number(name)
+            if version == 0:
+                raise KeyError(f"no model published under {name!r}")
+        version = int(version)
+        path = self._model_dir(name) / f"v{version:04d}.json"
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise KeyError(f"no version {version} of model {name!r}") from exc
+        return ModelVersion(
+            record["name"],
+            int(record["version"]),
+            record["digest"],
+            float(record.get("created", 0.0)),
+            dict(record.get("meta", {})),
+        )
+
+    def names(self) -> list[str]:
+        """Sorted names with at least one published version."""
+        mroot = self.root / "models"
+        return sorted(
+            d for d in os.listdir(mroot)
+            if (mroot / d).is_dir() and self._version_numbers(d)
+        )
+
+    def versions(self, name: str) -> list[int]:
+        """Sorted version numbers published under ``name``."""
+        self._check_name(name)
+        return self._version_numbers(name)
+
+    def __contains__(self, name) -> bool:
+        try:
+            return bool(self._version_numbers(self._check_name(name)))
+        except ValueError:
+            return False
+
+    # -- loading ---------------------------------------------------------------
+
+    def load(self, name: str, version: int | None = None):
+        """Deserialize (or cache-hit) the model for ``name``/``version``."""
+        return self.load_resolved(self.resolve(name, version))[0]
+
+    def load_resolved(self, mv: ModelVersion):
+        """Load by an already-resolved pointer; returns ``(model, mv)``.
+
+        The serving engine cache goes through here so one resolution
+        serves both the model bytes and the version identity.
+        """
+        with self._lock:
+            if mv.digest in self._cache:
+                self._cache.move_to_end(mv.digest)
+                self._hits += 1
+                return self._cache[mv.digest], mv
+            self._misses += 1
+        # Deserialize outside the lock: concurrent loads of *different*
+        # digests shouldn't serialize on one pickle pass.
+        path = self._object_path(mv.digest)
+        try:
+            model = loads_model(path.read_bytes())
+        except OSError as exc:
+            raise KeyError(
+                f"registry object {mv.digest[:12]}... for {mv.ref} is missing"
+            ) from exc
+        with self._lock:
+            if self.cache_size > 0:
+                self._cache[mv.digest] = model
+                self._cache.move_to_end(mv.digest)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+        return model, mv
+
+    # -- introspection ---------------------------------------------------------
+
+    def cache_info(self) -> dict:
+        """Hit/miss counters and current occupancy of the LRU cache."""
+        with self._lock:
+            return {
+                "size": len(self._cache),
+                "capacity": self.cache_size,
+                "hits": self._hits,
+                "misses": self._misses,
+            }
+
+    def __repr__(self):
+        return f"ModelRegistry({str(self.root)!r}, cache_size={self.cache_size})"

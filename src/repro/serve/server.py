@@ -1,0 +1,495 @@
+"""Stdlib-only JSON model server over a :class:`ModelRegistry`.
+
+Two transports, one protocol (see DESIGN.md, "Serving"):
+
+``python -m repro.serve --registry DIR --http PORT``
+    Threaded HTTP server; POST a JSON request body to any path.  Because
+    requests arrive on concurrent handler threads, predict calls pass
+    through a per-model :class:`MicroBatcher` that coalesces them into
+    single engine batches (bounded by ``--max-batch`` rows or
+    ``--max-delay-ms`` of waiting, whichever comes first).
+``python -m repro.serve --registry DIR --stdin``
+    Line protocol: one JSON request per stdin line, one JSON response
+    per stdout line.  Single-threaded, so predictions run directly on
+    the engine (a microbatcher would only add its flush delay).
+
+Requests are objects with an ``op``: ``predict`` (``model``, optional
+``version``, ``x`` = list of query rows), ``models``, ``stats``,
+``ping``.  Responses always carry ``"ok"``; failures report
+``{"ok": false, "error": ...}`` and never kill the server.
+
+Engines are cached per resolved ``(name, version, digest)``.  An
+unversioned ``predict`` re-resolves "latest" on every request, so a
+model re-published mid-flight is picked up on the next batch without a
+restart — the registry's digest-keyed cache guarantees no staleness.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import queue
+import sys
+import threading
+import time
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.serve.engine import PredictionEngine
+from repro.serve.registry import ModelRegistry
+
+__all__ = ["BatcherClosed", "MicroBatcher", "ModelServer", "main"]
+
+
+class BatcherClosed(RuntimeError):
+    """Submit raced a :meth:`MicroBatcher.close` — retry on a fresh batcher.
+
+    A distinct type so callers can tell infrastructure shutdown apart
+    from a model-level ``RuntimeError`` raised inside the flush.
+    """
+
+
+class _Pending:
+    """One submitted batch waiting for its slice of a flushed result."""
+
+    __slots__ = ("x", "event", "result", "error")
+
+    def __init__(self, x):
+        self.x = x
+        self.event = threading.Event()
+        self.result = None
+        self.error = None
+
+
+class MicroBatcher:
+    """Coalesce concurrent ``submit`` calls into single batched flushes.
+
+    A background worker drains the queue: the first waiting item opens a
+    batch window, further items join until the batch reaches
+    ``max_batch`` rows or ``max_delay_s`` elapses, then all rows are
+    concatenated and handed to ``flush_fn`` in one call.  Each submitter
+    gets back exactly its slice; an exception in ``flush_fn`` propagates
+    to every member of that batch (and only that batch).
+    """
+
+    def __init__(self, flush_fn, max_batch: int = 256, max_delay_s: float = 0.002):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._flush_fn = flush_fn
+        self.max_batch = int(max_batch)
+        self.max_delay_s = max(float(max_delay_s), 0.0)
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        # Serializes the closed-check + enqueue against close(), so no
+        # item can ever land behind the shutdown sentinel (which would
+        # leave its submitter blocked forever).
+        self._submit_lock = threading.Lock()
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-microbatch", daemon=True
+        )
+        self._worker.start()
+
+    def submit(self, x: np.ndarray) -> np.ndarray:
+        """Block until the batch containing ``x`` flushes; return its slice."""
+        item = _Pending(np.atleast_2d(np.asarray(x, dtype=float)))
+        with self._submit_lock:
+            if self._closed:
+                raise BatcherClosed("MicroBatcher is closed")
+            self._queue.put(item)
+        item.event.wait()
+        if item.error is not None:
+            raise item.error
+        return item.result
+
+    def close(self) -> None:
+        """Stop the worker after draining in-flight items."""
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(None)
+        self._worker.join(timeout=5.0)
+
+    def _collect(self, first: _Pending) -> list:
+        """Gather one batch: ``first`` plus joiners within the window."""
+        batch = [first]
+        rows = len(first.x)
+        deadline = time.perf_counter() + self.max_delay_s
+        while rows < self.max_batch:
+            remaining = deadline - time.perf_counter()
+            try:
+                item = self._queue.get(
+                    timeout=max(remaining, 0.0)
+                ) if remaining > 0 else self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:  # close sentinel: stop collecting, flush what we have
+                self._queue.put(None)
+                break
+            batch.append(item)
+            rows += len(item.x)
+        return batch
+
+    def _flush(self, batch: list) -> None:
+        # Flush per column-width group: coalescing is an optimization, and
+        # one request with an odd width must not fail its batchmates (a
+        # hook-validated model rejects it per-request anyway; this guards
+        # fallback-validated models where np.concatenate would raise).
+        groups: dict = {}
+        for item in batch:
+            groups.setdefault(item.x.shape[1], []).append(item)
+        for group in groups.values():
+            self._flush_group(group)
+
+    def _flush_group(self, batch: list) -> None:
+        try:
+            ys = self._flush_fn(np.concatenate([item.x for item in batch]))
+            ys = np.asarray(ys, dtype=float)
+            offset = 0
+            for item in batch:
+                item.result = ys[offset : offset + len(item.x)]
+                offset += len(item.x)
+        except BaseException as exc:  # propagate to every waiter in the batch
+            for item in batch:
+                item.error = exc
+        finally:
+            for item in batch:
+                item.event.set()
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            self._flush(self._collect(item))
+
+
+class ModelServer:
+    """Protocol layer: JSON requests in, JSON responses out.
+
+    Transport-agnostic — the HTTP handler and the stdin loop both call
+    :meth:`handle`.  ``microbatch=True`` (the HTTP default) routes
+    predictions through one :class:`MicroBatcher` per engine so
+    concurrent requests coalesce; the single-threaded stdin transport
+    leaves it off.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        default_model: str | None = None,
+        max_batch: int = 256,
+        max_delay_ms: float = 2.0,
+        microbatch: bool = False,
+        engine_cache_size: int = 16,
+    ):
+        self.registry = registry
+        self.default_model = default_model
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_ms) / 1e3
+        self.microbatch = bool(microbatch)
+        # Engines pin their deserialized model (and, when microbatching,
+        # a worker thread), so the cache is LRU-bounded: a long-running
+        # server in the republish-while-serving regime must not
+        # accumulate one engine per superseded version forever.
+        self.engine_cache_size = max(int(engine_cache_size), 1)
+        self._lock = threading.Lock()
+        self._engines: OrderedDict = OrderedDict()  # (name, ver, digest) -> engine
+        self._batchers: dict = {}            # engine ref ("name@vN") -> MicroBatcher
+        self._schemas: OrderedDict = OrderedDict()  # digest -> describe() or None
+
+    # -- engine resolution -----------------------------------------------------
+
+    @staticmethod
+    def _split_ref(ref: str) -> tuple:
+        """``"name@vN"`` / ``"name@N"`` -> (name, N); bare names -> (name, None)."""
+        name, sep, ver = str(ref).partition("@")
+        if not sep:
+            return name, None
+        ver = ver[1:] if ver[:1] in ("v", "V") else ver
+        try:
+            return name, int(ver)
+        except ValueError:
+            raise ValueError(f"bad model reference {ref!r}: want name@vN") from None
+
+    def engine_for(self, ref, version=None) -> PredictionEngine:
+        """The (LRU-cached) engine for a model reference, resolved fresh."""
+        name, ref_version = self._split_ref(ref)
+        if version is None:
+            version = ref_version
+        mv = self.registry.resolve(name, version)
+        key = (mv.name, mv.version, mv.digest)
+        with self._lock:
+            engine = self._engines.get(key)
+            if engine is not None:
+                self._engines.move_to_end(key)
+                return engine
+        model, mv = self.registry.load_resolved(mv)
+        evicted = []
+        with self._lock:
+            engine = self._engines.get(key)
+            if engine is None:
+                engine = PredictionEngine(model, name=mv.ref)
+                self._engines[key] = engine
+                while len(self._engines) > self.engine_cache_size:
+                    _, old = self._engines.popitem(last=False)
+                    batcher = self._batchers.pop(old.name, None)
+                    if batcher is not None:
+                        evicted.append(batcher)
+            else:
+                self._engines.move_to_end(key)
+        for batcher in evicted:  # close outside the lock (joins a thread)
+            batcher.close()
+        return engine
+
+    def _predict(self, engine: PredictionEngine, X: np.ndarray) -> np.ndarray:
+        """Run an already-validated batch through the engine.
+
+        ``validate=False`` throughout: :meth:`_handle_predict` validated
+        this request's rows, which is what protects batchmates — scanning
+        the coalesced flush again would only re-do that work.
+        """
+        if not self.microbatch:
+            return engine.predict(X, validate=False)
+        flush = lambda batch: engine.predict(batch, validate=False)
+        key = engine.name
+        for attempt in range(3):
+            with self._lock:
+                batcher = self._batchers.get(key)
+                if batcher is None:
+                    batcher = MicroBatcher(
+                        flush,
+                        max_batch=self.max_batch,
+                        max_delay_s=self.max_delay_s,
+                    )
+                    self._batchers[key] = batcher
+            try:
+                return batcher.submit(X)
+            except BatcherClosed:
+                # Lost a race with engine eviction closing this batcher;
+                # drop the dead entry and retry on a fresh one.  Model
+                # errors are NOT caught here — they propagate to handle()
+                # without abandoning (and thereby leaking) live batchers.
+                with self._lock:
+                    if self._batchers.get(key) is batcher:
+                        del self._batchers[key]
+                if attempt == 2:
+                    raise
+
+    def close(self) -> None:
+        with self._lock:
+            batchers, self._batchers = list(self._batchers.values()), {}
+        for b in batchers:
+            b.close()
+
+    # -- protocol --------------------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Answer one protocol request; errors become ``ok: false`` responses."""
+        try:
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            op = request.get("op", "predict")
+            if op == "ping":
+                return {"ok": True, "op": "ping"}
+            if op == "models":
+                return {"ok": True, "models": self._list_models()}
+            if op == "stats":
+                with self._lock:
+                    engines = list(self._engines.values())
+                return {
+                    "ok": True,
+                    "engines": [e.stats() for e in engines],
+                    "registry": self.registry.cache_info(),
+                }
+            if op == "predict":
+                return self._handle_predict(request)
+            raise ValueError(f"unknown op {op!r}")
+        except KeyError as exc:
+            return {"ok": False, "error": f"not found: {exc.args[0]}"}
+        except (ValueError, TypeError, RuntimeError) as exc:
+            # RuntimeError covers model-level refusals (e.g. an unfitted
+            # model published to the registry).
+            return {"ok": False, "error": str(exc)}
+        except Exception as exc:  # the protocol boundary: "failures never
+            # kill the server" must hold for *any* model-raised exception
+            # (LinAlgError, IndexError, ...), not just the expected types.
+            return {
+                "ok": False,
+                "error": f"internal error: {type(exc).__name__}: {exc}",
+            }
+
+    def _handle_predict(self, request: dict) -> dict:
+        ref = request.get("model") or self.default_model
+        if not ref:
+            raise ValueError("no 'model' in request and no default model")
+        if "x" not in request:
+            raise ValueError("predict request needs 'x': a list of query rows")
+        try:
+            X = np.asarray(request["x"], dtype=float)
+        except (ValueError, TypeError):
+            raise ValueError("'x' must be a numeric array of query rows") from None
+        engine = self.engine_for(ref, request.get("version"))
+        X = engine.validate(X)
+        t0 = time.perf_counter()
+        y = self._predict(engine, X)
+        latency_ms = 1e3 * (time.perf_counter() - t0)
+        return {
+            "ok": True,
+            "model": engine.name,
+            "n": int(len(y)),
+            # Strict-JSON safe: a non-finite prediction (e.g. exp overflow
+            # on a far extrapolation) serializes as null, never Infinity.
+            "y": [float(v) if math.isfinite(v) else None for v in y],
+            "latency_ms": latency_ms,
+        }
+
+    def _schema_for(self, mv) -> dict | None:
+        """Memoized ``describe()`` record per digest.
+
+        Computed at most once per blob, so a periodic ``models`` poll
+        neither re-deserializes every published model nor thrashes the
+        registry's LRU out from under the serving hot path.  Failures are
+        *not* memoized (a transiently unreadable blob should not report
+        ``schema: null`` forever), and the memo is LRU-bounded so a
+        republish-heavy server cannot grow it without limit.
+        """
+        with self._lock:
+            if mv.digest in self._schemas:
+                self._schemas.move_to_end(mv.digest)
+                return self._schemas[mv.digest]
+        try:
+            model, _ = self.registry.load_resolved(mv)
+        except KeyError:
+            return None  # transient: retry on the next request
+        schema = None
+        describe = getattr(model, "describe", None)
+        if callable(describe):
+            try:
+                schema = describe()
+            except RuntimeError:
+                schema = None  # e.g. an unfitted model was published
+        with self._lock:
+            self._schemas[mv.digest] = schema
+            self._schemas.move_to_end(mv.digest)
+            while len(self._schemas) > 4 * self.engine_cache_size:
+                self._schemas.popitem(last=False)
+        return schema
+
+    def _list_models(self) -> list:
+        out = []
+        for name in self.registry.names():
+            mv = self.registry.resolve(name)
+            entry = mv.to_record()
+            entry["versions"] = self.registry.versions(name)
+            entry["schema"] = self._schema_for(mv)
+            out.append(entry)
+        return out
+
+
+# -- transports ----------------------------------------------------------------
+
+
+def _http_handler(server: ModelServer):
+    """A request-handler class bound to one :class:`ModelServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def _reply(self, payload: dict, status: int = 200) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self):  # health / liveness probe
+            self._reply(server.handle({"op": "ping"}))
+
+        def do_POST(self):
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                request = json.loads(self.rfile.read(length) or b"{}")
+            except (ValueError, json.JSONDecodeError):
+                self._reply({"ok": False, "error": "bad JSON request body"}, 400)
+                return
+            response = server.handle(request)
+            self._reply(response, 200 if response.get("ok") else 400)
+
+        def log_message(self, fmt, *args):  # keep stdout for the protocol
+            print(f"[serve] {fmt % args}", file=sys.stderr)
+
+    return Handler
+
+
+def serve_http(server: ModelServer, port: int, host: str = "127.0.0.1"):
+    """Build (not start) the threaded HTTP server; caller owns its lifecycle."""
+    return ThreadingHTTPServer((host, port), _http_handler(server))
+
+
+def serve_stdin(server: ModelServer, lines=None, out=None) -> int:
+    """Line protocol: one JSON request per line in, one response per line out."""
+    lines = sys.stdin if lines is None else lines
+    out = sys.stdout if out is None else out
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            response = {"ok": False, "error": f"bad JSON: {exc}"}
+        else:
+            response = server.handle(request)
+        print(json.dumps(response), file=out, flush=True)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve published performance models over JSON.",
+    )
+    parser.add_argument("--registry", required=True,
+                        help="ModelRegistry directory (see repro.serve)")
+    transport = parser.add_mutually_exclusive_group(required=True)
+    transport.add_argument("--http", type=int, metavar="PORT",
+                           help="listen for JSON-over-HTTP on this port")
+    transport.add_argument("--stdin", action="store_true",
+                           help="read one JSON request per stdin line")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--model", default=None,
+                        help="default model for predict requests without one")
+    parser.add_argument("--max-batch", type=int, default=256,
+                        help="microbatch flush size (rows)")
+    parser.add_argument("--max-delay-ms", type=float, default=2.0,
+                        help="microbatch window before a partial flush")
+    parser.add_argument("--cache-size", type=int, default=8,
+                        help="registry LRU capacity (deserialized models)")
+    args = parser.parse_args(argv)
+
+    registry = ModelRegistry(args.registry, cache_size=args.cache_size)
+    server = ModelServer(
+        registry,
+        default_model=args.model,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        microbatch=args.http is not None,
+    )
+    if args.stdin:
+        return serve_stdin(server)
+    httpd = serve_http(server, args.http, host=args.host)
+    host, port = httpd.server_address[:2]
+    print(f"[serve] registry={registry.root} listening on http://{host}:{port}",
+          file=sys.stderr)
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.server_close()
+        server.close()
+    return 0

@@ -1,13 +1,13 @@
 """Shared utilities: RNG handling, serialization, validation, tables."""
 from repro.utils.rng import as_generator, spawn_rngs
-from repro.utils.serialization import model_size_bytes, save_model, load_model
+from repro.utils.serialization import load_model, model_size_bytes, save_model
+from repro.utils.tables import format_table
 from repro.utils.validation import (
     check_1d,
     check_2d,
-    check_positive,
     check_matching_rows,
+    check_positive,
 )
-from repro.utils.tables import format_table
 
 __all__ = [
     "as_generator",

@@ -17,12 +17,20 @@ Objects without the full protocol are pickled whole, as before.
 """
 from __future__ import annotations
 
+import hashlib
 import io
 import pickle
 from importlib import import_module
 from pathlib import Path
 
-__all__ = ["model_size_bytes", "save_model", "load_model"]
+__all__ = [
+    "model_size_bytes",
+    "dumps_model",
+    "loads_model",
+    "model_digest",
+    "save_model",
+    "load_model",
+]
 
 #: Tag identifying a minimal-state record on disk.
 _MINIMAL_FORMAT = "repro.minimal-state.v1"
@@ -53,11 +61,13 @@ def model_size_bytes(model) -> int:
     return buf.getbuffer().nbytes
 
 
-def save_model(model, path) -> int:
-    """Persist ``model`` to ``path``; return the number of bytes written.
+def dumps_model(model) -> bytes:
+    """Serialize ``model`` to bytes (the payload :func:`save_model` writes).
 
     Minimal-state models are written as their measured state plus a small
-    class tag; everything else is pickled whole.
+    class tag; everything else is pickled whole.  This is the byte-level
+    entry point the serving registry content-addresses
+    (:func:`model_digest` hashes exactly these bytes).
     """
     state_fn, _ = _minimal_state_hooks(model)
     if state_fn is not None:
@@ -68,16 +78,36 @@ def save_model(model, path) -> int:
         }
     else:
         payload = model
-    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads_model(data: bytes):
+    """Inverse of :func:`dumps_model`."""
+    obj = pickle.loads(data)
+    if isinstance(obj, dict) and obj.get("__format__") == _MINIMAL_FORMAT:
+        module, qualname = obj["class"]
+        cls = getattr(import_module(module), qualname)
+        return cls._from_minimal_state(obj["state"])
+    return obj
+
+
+def model_digest(model) -> str:
+    """SHA-256 hex digest of the serialized model bytes.
+
+    Two models publish to the same registry object exactly when their
+    persisted states are byte-identical — the content address the serving
+    layer stores blobs under.
+    """
+    return hashlib.sha256(dumps_model(model)).hexdigest()
+
+
+def save_model(model, path) -> int:
+    """Persist ``model`` to ``path``; return the number of bytes written."""
+    data = dumps_model(model)
     Path(path).write_bytes(data)
     return len(data)
 
 
 def load_model(path):
     """Load a model previously written by :func:`save_model`."""
-    obj = pickle.loads(Path(path).read_bytes())
-    if isinstance(obj, dict) and obj.get("__format__") == _MINIMAL_FORMAT:
-        module, qualname = obj["class"]
-        cls = getattr(import_module(module), qualname)
-        return cls._from_minimal_state(obj["state"])
-    return obj
+    return loads_model(Path(path).read_bytes())

@@ -4,7 +4,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.apps import MatMul, ExaFMM
+from repro.apps import ExaFMM, MatMul
 from repro.datasets import generate_dataset
 
 

@@ -11,11 +11,11 @@ import pytest
 from repro.apps import (
     AMG,
     APPLICATIONS,
+    QR,
     Broadcast,
     ExaFMM,
     Kripke,
     MatMul,
-    QR,
     get_application,
 )
 

@@ -8,7 +8,6 @@ from repro.baselines import (
     GaussianProcessRegressor,
     GradientBoostingRegressor,
     KNNRegressor,
-    MARSRegressor,
     MLPRegressor,
     OLSRegressor,
     PMNFRegressor,
@@ -18,8 +17,8 @@ from repro.baselines import (
 )
 from repro.baselines.kernels import (
     KERNELS,
-    Matern,
     RBF,
+    Matern,
     RationalQuadratic,
     make_kernel,
 )

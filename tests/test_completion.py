@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.completion import (
+    OPTIMIZERS,
     CompletionResult,
     complete_als,
     complete_amn,
@@ -16,7 +17,6 @@ from repro.core.completion import (
     init_factors,
     init_positive_factors,
     khatri_rao_rows,
-    OPTIMIZERS,
 )
 from repro.core.completion.objectives import (
     frobenius_penalty,

@@ -2,7 +2,6 @@
 import numpy as np
 import pytest
 
-from repro.apps import MatMul
 from repro.core import CPRModel, TuckerModel
 from repro.utils import load_model, save_model
 

@@ -4,12 +4,12 @@ import pytest
 
 from repro.apps import Broadcast, MatMul
 from repro.datasets import (
+    PAPER_TEST_SIZES,
     Dataset,
     extrapolation_split,
     generate_dataset,
     subsample,
     threshold_mask,
-    PAPER_TEST_SIZES,
 )
 
 

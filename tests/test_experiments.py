@@ -2,8 +2,6 @@
 import numpy as np
 import pytest
 
-from repro.apps import MatMul
-from repro.datasets import generate_dataset
 from repro.experiments import (
     MODEL_NAMES,
     get_dataset,

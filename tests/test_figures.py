@@ -6,7 +6,6 @@ plus the cheap scientific invariants (Figure 1 monotonicity, Table 1
 equivalences).
 """
 import numpy as np
-import pytest
 
 from repro.experiments import figure1, figure8, table1
 from repro.experiments.figure1 import FUNCTIONS, build_matrix, svd_mlogq_curve

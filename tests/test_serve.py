@@ -1,0 +1,553 @@
+"""Serving subsystem: registry, engine, server protocol, publish hooks."""
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps import Broadcast
+from repro.core import CPRModel
+from repro.datasets import generate_dataset
+from repro.serve import MicroBatcher, ModelRegistry, ModelServer, PredictionEngine
+from repro.serve.server import serve_stdin
+from repro.utils.serialization import dumps_model, loads_model, model_digest
+
+
+@pytest.fixture(scope="module")
+def bcast_data():
+    app = Broadcast()
+    train = generate_dataset(app, 512, seed=0)
+    test = generate_dataset(app, 64, seed=1)
+    return app, train, test
+
+
+def _fit(app, train, seed=0, rank=2):
+    return CPRModel(
+        space=app.space, cells=4, rank=rank, seed=seed, max_sweeps=5
+    ).fit(train.X, train.y)
+
+
+@pytest.fixture(scope="module")
+def fitted(bcast_data):
+    app, train, _ = bcast_data
+    return _fit(app, train)
+
+
+# -- serialization bytes layer -------------------------------------------------
+
+
+def test_dumps_loads_model_roundtrip(bcast_data, fitted):
+    _, _, test = bcast_data
+    clone = loads_model(dumps_model(fitted))
+    np.testing.assert_allclose(clone.predict(test.X), fitted.predict(test.X))
+
+
+def test_model_digest_content_addressed(bcast_data, fitted):
+    app, train, _ = bcast_data
+    assert model_digest(fitted) == model_digest(fitted)  # deterministic
+    other = _fit(app, train, seed=7)
+    assert model_digest(other) != model_digest(fitted)
+
+
+# -- registry ------------------------------------------------------------------
+
+
+def test_registry_publish_load_roundtrip(tmp_path, bcast_data, fitted):
+    _, _, test = bcast_data
+    reg = ModelRegistry(tmp_path)
+    mv = reg.publish("bcast", fitted, meta={"app": "bcast"})
+    assert mv.version == 1 and mv.ref == "bcast@v1"
+    assert mv.meta == {"app": "bcast"}
+    loaded = reg.load("bcast")
+    np.testing.assert_allclose(loaded.predict(test.X), fitted.predict(test.X))
+    assert "bcast" in reg and "nope" not in reg
+    assert reg.names() == ["bcast"]
+    assert reg.versions("bcast") == [1]
+
+
+def test_registry_versioning_and_dedup(tmp_path, bcast_data, fitted):
+    app, train, _ = bcast_data
+    reg = ModelRegistry(tmp_path)
+    v1 = reg.publish("m", fitted)
+    v2 = reg.publish("m", fitted)  # identical bytes -> same blob, new version
+    v3 = reg.publish("m", _fit(app, train, seed=3))
+    assert [v1.version, v2.version, v3.version] == [1, 2, 3]
+    assert v1.digest == v2.digest != v3.digest
+    assert len(list((tmp_path / "objects").glob("*.pkl"))) == 2  # deduplicated
+    assert reg.resolve("m").version == 3  # latest
+    assert reg.resolve("m", 2).digest == v1.digest
+
+
+def test_registry_errors(tmp_path, fitted):
+    reg = ModelRegistry(tmp_path)
+    with pytest.raises(KeyError):
+        reg.load("absent")
+    reg.publish("m", fitted)
+    with pytest.raises(KeyError):
+        reg.load("m", version=5)
+    for bad in ("", "../escape", "a/b", ".hidden"):
+        with pytest.raises(ValueError):
+            reg.publish(bad, fitted)
+
+
+def test_registry_lru_eviction_and_counters(tmp_path, bcast_data):
+    app, train, _ = bcast_data
+    reg = ModelRegistry(tmp_path, cache_size=2)
+    for i in range(3):
+        reg.publish(f"m{i}", _fit(app, train, seed=i))
+    reg.load("m0")
+    reg.load("m1")
+    reg.load("m0")  # hit; m0 becomes most-recent
+    reg.load("m2")  # evicts m1
+    info = reg.cache_info()
+    assert info["size"] == 2 and info["capacity"] == 2
+    assert info["hits"] == 1 and info["misses"] == 3
+    reg.load("m1")  # miss again after eviction
+    assert reg.cache_info()["misses"] == 4
+
+
+def test_registry_cache_never_stale_after_republish(tmp_path, bcast_data):
+    """Re-publishing under the same name must be visible immediately."""
+    app, train, test = bcast_data
+    reg = ModelRegistry(tmp_path, cache_size=4)
+    first = _fit(app, train, seed=0)
+    reg.publish("m", first)
+    np.testing.assert_allclose(reg.load("m").predict(test.X), first.predict(test.X))
+    second = _fit(app, train, seed=9, rank=3)
+    reg.publish("m", second)
+    served = reg.load("m")  # cache held `first`; must not serve it for v2
+    np.testing.assert_allclose(served.predict(test.X), second.predict(test.X))
+    assert model_digest(served) == model_digest(second)
+    # The old version stays addressable.
+    np.testing.assert_allclose(
+        reg.load("m", version=1).predict(test.X), first.predict(test.X)
+    )
+
+
+def test_registry_concurrent_publish_and_load(tmp_path, bcast_data):
+    """Parallel publish/load of one name: distinct versions, no torn reads."""
+    app, train, test = bcast_data
+    models = [_fit(app, train, seed=s) for s in range(4)]
+    digests = {model_digest(m) for m in models}
+    reg = ModelRegistry(tmp_path, cache_size=2)
+    reg.publish("m", models[0])
+
+    errors: list = []
+    seen: list = []
+    start = threading.Barrier(8)
+
+    def publisher(model):
+        try:
+            start.wait()
+            for _ in range(3):
+                reg.publish("m", model)
+        except BaseException as exc:  # noqa: BLE001 - collected for assertion
+            errors.append(exc)
+
+    def loader():
+        try:
+            start.wait()
+            for _ in range(10):
+                served = ModelRegistry(tmp_path, cache_size=2).load("m")
+                seen.append(model_digest(served))
+        except BaseException as exc:  # noqa: BLE001 - collected for assertion
+            errors.append(exc)
+
+    threads = [threading.Thread(target=publisher, args=(m,)) for m in models]
+    threads += [threading.Thread(target=loader) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors
+    # 1 initial + 4 publishers x 3 publishes = 13 dense distinct versions.
+    assert reg.versions("m") == list(range(1, 14))
+    # Every load observed one of the actually-published models.
+    assert set(seen) <= digests
+
+
+# -- engine --------------------------------------------------------------------
+
+
+def test_engine_matches_model_predict(bcast_data, fitted):
+    _, _, test = bcast_data
+    engine = PredictionEngine(fitted, name="bcast@v1")
+    np.testing.assert_allclose(engine.predict(test.X), fitted.predict(test.X))
+    stats = engine.stats()
+    assert stats["batches"] == 1 and stats["queries"] == len(test.X)
+    assert stats["queries_per_second"] > 0
+
+
+def test_engine_chunks_large_batches(bcast_data, fitted):
+    _, _, test = bcast_data
+    whole = PredictionEngine(fitted).predict(test.X)
+    chunked_engine = PredictionEngine(fitted, max_batch=7)
+    np.testing.assert_allclose(chunked_engine.predict(test.X), whole)
+    assert chunked_engine.stats()["batches"] == 1  # chunking is internal
+
+
+def test_engine_rejects_bad_batches(fitted):
+    engine = PredictionEngine(fitted)
+    with pytest.raises(ValueError, match="3 columns"):
+        engine.predict([[1.0, 2.0]])
+    with pytest.raises(ValueError, match="non-finite"):
+        engine.predict([[1.0, np.nan, 65536.0]])
+
+
+def test_model_validate_queries_and_empty_batch(bcast_data, fitted):
+    _, _, test = bcast_data
+    X = fitted.validate_queries(test.X.tolist())
+    assert X.shape == test.X.shape
+    with pytest.raises(ValueError, match="2-dimensional"):
+        fitted.validate_queries(np.zeros((2, 2, 2)))
+    assert fitted.predict(np.empty((0, 3))).shape == (0,)
+    assert PredictionEngine(fitted).predict(np.empty((0, 3))).shape == (0,)
+
+
+def test_model_describe_is_json_roundtrippable(fitted):
+    desc = json.loads(json.dumps(fitted.describe()))
+    assert desc["order"] == 3 and len(desc["modes"]) == 3
+    assert desc["modes"][0]["name"] == "nodes"
+    # The modeling domain is ascertained from training data, so the msg
+    # mode's high edge is near (not exactly) the space's 2^26 bound.
+    assert desc["modes"][2]["high"] > 2**25
+
+
+# -- microbatcher --------------------------------------------------------------
+
+
+def test_microbatcher_slices_and_coalesces():
+    flushed_sizes = []
+
+    def slow_identity(X):
+        flushed_sizes.append(len(X))
+        time.sleep(0.01)
+        return X[:, 0] * 10.0
+
+    mb = MicroBatcher(slow_identity, max_batch=64, max_delay_s=0.05)
+    try:
+        outs = {}
+
+        def client(i):
+            outs[i] = mb.submit(np.full((2, 1), float(i)))
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(6):
+            np.testing.assert_allclose(outs[i], [10.0 * i, 10.0 * i])
+        # 12 rows total flushed, in fewer than 6 flushes (some coalesced).
+        assert sum(flushed_sizes) == 12
+        assert len(flushed_sizes) < 6
+    finally:
+        mb.close()
+
+
+def test_microbatcher_propagates_errors_and_closes():
+    def boom(X):
+        raise ValueError("bad batch")
+
+    mb = MicroBatcher(boom, max_batch=4, max_delay_s=0.0)
+    with pytest.raises(ValueError, match="bad batch"):
+        mb.submit([[1.0]])
+    mb.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        mb.submit([[1.0]])
+
+
+# -- server protocol -----------------------------------------------------------
+
+
+@pytest.fixture()
+def server(tmp_path, bcast_data, fitted):
+    app, train, _ = bcast_data
+    reg = ModelRegistry(tmp_path)
+    reg.publish("bcast", fitted, meta={"app": "bcast"})
+    reg.publish("other", _fit(app, train, seed=5))
+    return ModelServer(reg, default_model="bcast"), reg
+
+
+def test_server_ping_models_stats(server, fitted):
+    srv, _ = server
+    assert srv.handle({"op": "ping"}) == {"ok": True, "op": "ping"}
+    models = srv.handle({"op": "models"})
+    assert models["ok"]
+    by_name = {m["name"]: m for m in models["models"]}
+    assert set(by_name) == {"bcast", "other"}
+    assert by_name["bcast"]["versions"] == [1]
+    assert by_name["bcast"]["schema"]["order"] == 3
+    stats = srv.handle({"op": "stats"})
+    assert stats["ok"] and stats["registry"]["capacity"] == 8
+
+
+def test_server_predict_roundtrip(server, bcast_data, fitted):
+    srv, _ = server
+    _, _, test = bcast_data
+    resp = srv.handle({"op": "predict", "x": test.X[:4].tolist()})
+    assert resp["ok"] and resp["model"] == "bcast@v1" and resp["n"] == 4
+    np.testing.assert_allclose(resp["y"], fitted.predict(test.X[:4]))
+    assert resp["latency_ms"] >= 0.0
+    # Explicit name@version references resolve too.
+    resp2 = srv.handle(
+        {"op": "predict", "model": "bcast@v1", "x": test.X[:1].tolist()}
+    )
+    assert resp2["ok"] and resp2["model"] == "bcast@v1"
+
+
+def test_server_error_responses(server):
+    srv, _ = server
+    assert not srv.handle({"op": "nope"})["ok"]
+    assert "not found" in srv.handle(
+        {"op": "predict", "model": "absent", "x": [[1, 1, 65536]]}
+    )["error"]
+    assert "columns" in srv.handle({"op": "predict", "x": [[1, 1]]})["error"]
+    assert "'x'" in srv.handle({"op": "predict"})["error"]
+    assert not srv.handle({"op": "predict", "x": [["a", "b", "c"]]})["ok"]
+    assert not srv.handle([1, 2, 3])["ok"]
+
+
+def test_server_picks_up_republish_without_restart(server, bcast_data):
+    srv, reg = server
+    app, train, test = bcast_data
+    before = srv.handle({"op": "predict", "x": test.X[:2].tolist()})
+    newer = _fit(app, train, seed=11, rank=3)
+    reg.publish("bcast", newer)
+    after = srv.handle({"op": "predict", "x": test.X[:2].tolist()})
+    assert before["model"] == "bcast@v1" and after["model"] == "bcast@v2"
+    np.testing.assert_allclose(after["y"], newer.predict(test.X[:2]))
+
+
+def test_serve_stdin_line_protocol(server, bcast_data, fitted):
+    srv, _ = server
+    _, _, test = bcast_data
+    lines = io.StringIO(
+        json.dumps({"op": "predict", "x": test.X[:2].tolist()})
+        + "\n\nnot json\n"
+        + json.dumps({"op": "ping"})
+        + "\n"
+    )
+    out = io.StringIO()
+    assert serve_stdin(srv, lines=lines, out=out) == 0
+    responses = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert len(responses) == 3  # blank line skipped
+    assert responses[0]["ok"] and responses[0]["n"] == 2
+    np.testing.assert_allclose(responses[0]["y"], fitted.predict(test.X[:2]))
+    assert not responses[1]["ok"] and "bad JSON" in responses[1]["error"]
+    assert responses[2] == {"ok": True, "op": "ping"}
+
+
+def test_server_microbatched_predictions_match(tmp_path, bcast_data, fitted):
+    _, _, test = bcast_data
+    reg = ModelRegistry(tmp_path)
+    reg.publish("bcast", fitted)
+    srv = ModelServer(reg, default_model="bcast", microbatch=True, max_delay_ms=5)
+    try:
+        expect = fitted.predict(test.X)
+        results = {}
+
+        def client(i):
+            resp = srv.handle({"op": "predict", "x": test.X[i : i + 8].tolist()})
+            results[i] = resp
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in (0, 8, 16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in (0, 8, 16):
+            assert results[i]["ok"]
+            np.testing.assert_allclose(results[i]["y"], expect[i : i + 8])
+        engine = srv.engine_for("bcast")
+        assert engine.stats()["queries"] == 24
+    finally:
+        srv.close()
+
+
+class _InfModel:
+    """Module-level (hence picklable) stub whose predictions overflow."""
+
+    def predict(self, X):
+        return np.full(len(np.atleast_2d(X)), np.inf)
+
+
+class _BrokenModel:
+    """Picklable stub that fails at predict time with a RuntimeError."""
+
+    def predict(self, X):
+        raise RuntimeError("internal model failure")
+
+
+class _OddModel:
+    """Picklable stub that fails with an unanticipated exception type."""
+
+    def predict(self, X):
+        raise IndexError("surprise")
+
+
+def test_server_contains_runtime_errors(tmp_path):
+    """Model-level RuntimeError becomes an ok:false response, never a crash."""
+    reg = ModelRegistry(tmp_path)
+    reg.publish("broken", _BrokenModel())
+    srv = ModelServer(reg)
+    resp = srv.handle({"op": "predict", "model": "broken", "x": [[1.0]]})
+    assert not resp["ok"] and "internal model failure" in resp["error"]
+    # The registry refuses to publish an unfitted minimal-state model at
+    # publish time (the earlier failure point), not at serve time.
+    from repro.core import CPRModel
+
+    with pytest.raises(RuntimeError, match="not fitted"):
+        reg.publish("unfitted", CPRModel())
+
+
+def test_server_contains_arbitrary_exceptions_and_stdin_survives(tmp_path):
+    """Any model exception -> ok:false; the stdin loop keeps serving."""
+    reg = ModelRegistry(tmp_path)
+    reg.publish("odd", _OddModel())
+    srv = ModelServer(reg)
+    resp = srv.handle({"op": "predict", "model": "odd", "x": [[1.0]]})
+    assert not resp["ok"] and "IndexError" in resp["error"]
+    lines = io.StringIO(
+        json.dumps({"op": "predict", "model": "odd", "x": [[1.0]]})
+        + "\n"
+        + json.dumps({"op": "ping"})
+        + "\n"
+    )
+    out = io.StringIO()
+    assert serve_stdin(srv, lines=lines, out=out) == 0
+    responses = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert not responses[0]["ok"]
+    assert responses[1] == {"ok": True, "op": "ping"}  # server survived
+
+
+def test_microbatched_model_errors_do_not_leak_batchers(tmp_path):
+    """Model failures under microbatching must not abandon worker threads."""
+    reg = ModelRegistry(tmp_path)
+    reg.publish("broken", _BrokenModel())
+    srv = ModelServer(reg, microbatch=True, max_delay_ms=0.0)
+    try:
+        before = sum(
+            t.name == "repro-serve-microbatch" for t in threading.enumerate()
+        )
+        for _ in range(5):
+            resp = srv.handle({"op": "predict", "model": "broken", "x": [[1.0]]})
+            assert not resp["ok"] and "internal model failure" in resp["error"]
+        after = sum(
+            t.name == "repro-serve-microbatch" for t in threading.enumerate()
+        )
+        assert after - before <= 1  # one live batcher, zero abandoned ones
+    finally:
+        srv.close()
+
+
+def test_microbatcher_mixed_widths_flush_separately():
+    """Coalesced requests of different column counts must all succeed."""
+    mb = MicroBatcher(lambda X: X.sum(axis=1), max_batch=64, max_delay_s=0.05)
+    try:
+        outs = {}
+
+        def client(i, width):
+            outs[i] = mb.submit(np.full((1, width), float(i)))
+
+        threads = [
+            threading.Thread(target=client, args=(i, 2 + (i % 2)))
+            for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(6):
+            width = 2 + (i % 2)
+            np.testing.assert_allclose(outs[i], [float(i) * width])
+    finally:
+        mb.close()
+
+
+def test_model_predict_validate_false_matches(bcast_data, fitted):
+    _, _, test = bcast_data
+    np.testing.assert_allclose(
+        fitted.predict(test.X, validate=False), fitted.predict(test.X)
+    )
+
+
+def test_server_serializes_nonfinite_predictions_as_null(tmp_path):
+    reg = ModelRegistry(tmp_path)
+    reg.publish("inf", _InfModel())
+    srv = ModelServer(reg)
+    resp = srv.handle({"op": "predict", "model": "inf", "x": [[1.0], [2.0]]})
+    assert resp["ok"] and resp["y"] == [None, None]
+    json.loads(json.dumps(resp))  # strict-JSON clean (no Infinity token)
+
+
+def test_server_engine_cache_is_bounded(tmp_path, bcast_data):
+    app, train, _ = bcast_data
+    reg = ModelRegistry(tmp_path)
+    model = _fit(app, train)
+    for i in range(4):
+        reg.publish(f"m{i}", model)
+    srv = ModelServer(reg, engine_cache_size=2)
+    for i in range(4):
+        assert srv.handle({"op": "predict", "model": f"m{i}", "x": [[4, 8, 2**20]]})["ok"]
+    assert len(srv._engines) == 2  # oldest engines evicted, not accumulated
+
+
+def test_registry_manifest_never_visible_half_written(tmp_path, fitted):
+    """A non-serializable meta fails before any version is claimed."""
+    reg = ModelRegistry(tmp_path)
+    reg.publish("m", fitted)
+    with pytest.raises(TypeError):
+        reg.publish("m", fitted, meta={"bad": object()})
+    assert reg.versions("m") == [1]  # no orphan v2 manifest
+    assert reg.resolve("m").version == 1
+    assert not list(reg._model_dir("m").glob("*.tmp"))
+
+
+# -- publish-after-fit hooks ---------------------------------------------------
+
+
+def test_run_tune_job_publishes_best_model(tmp_path, bcast_data):
+    from repro.experiments.harness import run_tune_job
+
+    record = run_tune_job(
+        app="bcast",
+        model="cpr",
+        n_train=256,
+        n_test=64,
+        grid=[{"cells": 4, "rank": 2, "max_sweeps": 5}],
+        seed=0,
+        publish_dir=str(tmp_path),
+    )
+    assert not record["skipped"]
+    pub = record["published"]
+    assert pub["name"] == "bcast-cpr" and pub["version"] == 1
+    reg = ModelRegistry(tmp_path)
+    mv = reg.resolve("bcast-cpr")
+    assert mv.digest == pub["digest"]
+    assert mv.meta["model"] == "cpr" and mv.meta["params"]["rank"] == 2
+    model = reg.load("bcast-cpr")
+    _, _, test = bcast_data
+    assert np.all(model.predict(test.X) > 0)
+
+
+def test_runtime_on_result_hook_skips_cache_hits(tmp_path):
+    from repro.runtime import JobSpec, Runtime
+
+    spec = JobSpec("repro.experiments.harness:run_tune_job", {
+        "app": "bcast", "model": "cpr", "n_train": 128, "n_test": 32,
+        "grid": [{"cells": 4, "rank": 2, "max_sweeps": 3}], "seed": 0,
+    })
+    calls: list = []
+    rt = Runtime(cache_dir=tmp_path / "cache",
+                 on_result=lambda s, r: calls.append((s.key, r["model"])))
+    first = rt.run([spec])
+    assert calls == [(spec.key, "cpr")]
+    again = rt.run([spec])  # cache hit: hook must not re-fire
+    assert calls == [(spec.key, "cpr")]
+    assert again == first and rt.hits == 1
