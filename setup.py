@@ -11,7 +11,8 @@ setup(
     description=(
         "Reproduction of 'Application Performance Modeling via Tensor "
         "Completion' (SC 2023): CP/Tucker grid models, baselines, "
-        "experiment drivers, and a model-serving subsystem"
+        "experiment drivers, a model-serving subsystem, and a streaming "
+        "observation pipeline"
     ),
     long_description=_readme.read_text() if _readme.exists() else "",
     long_description_content_type="text/markdown",
@@ -23,7 +24,7 @@ setup(
         "scipy>=1.8",
     ],
     extras_require={
-        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        "test": ["pytest", "pytest-benchmark", "pytest-cov", "hypothesis"],
         "lint": ["ruff"],
     },
     entry_points={
@@ -32,6 +33,8 @@ setup(
             "repro-experiments=repro.experiments.__main__:main",
             # `repro-serve --registry DIR --http 8000`
             "repro-serve=repro.serve.server:main",
+            # `repro-stream --app bcast --registry DIR --journal FILE`
+            "repro-stream=repro.stream.__main__:main",
         ],
     },
 )

@@ -172,6 +172,7 @@ def complete_als(
     factors: list | None = None,
     scale_rows: bool = True,
     kernel: str = "batched",
+    plan: ObservationPlan | None = None,
 ) -> CompletionResult:
     """Fit a rank-``rank`` CP decomposition to observed entries with ALS.
 
@@ -198,6 +199,12 @@ def complete_als(
         ``"batched"`` (default): loop-free stacked row solves sharing one
         :class:`ObservationPlan` across sweeps.  ``"reference"``: the
         per-row loop kept for equivalence testing and benchmarking.
+    plan
+        Optional pre-built :class:`ObservationPlan` for ``(shape,
+        indices)`` (batched kernel only).  Streaming callers whose new
+        observations landed in already-observed cells pass the previous
+        fit's plan so the warm-start sweep reuses its argsorts and
+        buffers; a plan for a different observation set raises.
 
     Returns
     -------
@@ -222,7 +229,13 @@ def complete_als(
         # The buffered gathers require float64; coerce warm starts.
         factors = [np.asarray(U, dtype=float) for U in factors]
     if kernel == "batched":
-        plan = ObservationPlan(shape, indices)
+        if plan is None:
+            plan = ObservationPlan(shape, indices)
+        elif not plan.matches(shape, indices):
+            raise ValueError(
+                "plan does not describe these observations; rebuild it "
+                "(ObservationPlan.extended) when the index set changes"
+            )
         indices = plan.indices
         t_sorted = [plan.sorted_values(values, j) for j in range(d)]
     history = [ls_objective(factors, indices, values, regularization)]

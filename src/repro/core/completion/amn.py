@@ -231,6 +231,7 @@ def complete_amn(
     barrier_min: float = 1e-11,
     newton_iters: int = 40,
     kernel: str = "batched",
+    plan: ObservationPlan | None = None,
 ) -> CompletionResult:
     """Fit a strictly positive CP model by interior-point AMN.
 
@@ -249,6 +250,10 @@ def complete_amn(
         ``"batched"`` (default): all rows of a mode iterate together under
         convergence masks, sharing one observation plan across every sweep
         and barrier level.  ``"reference"``: the retained per-row loop.
+    plan
+        Optional pre-built :class:`ObservationPlan` (batched kernel only)
+        for streaming warm starts over an unchanged observation set; a
+        plan for different observations raises.
 
     Returns
     -------
@@ -283,7 +288,13 @@ def complete_amn(
     if kernel == "batched":
         # One argsort per mode for the whole fit, shared by every sweep of
         # every barrier level (the seed re-sorted per mode per sweep).
-        plan = ObservationPlan(shape, indices)
+        if plan is None:
+            plan = ObservationPlan(shape, indices)
+        elif not plan.matches(shape, indices):
+            raise ValueError(
+                "plan does not describe these observations; rebuild it "
+                "(ObservationPlan.extended) when the index set changes"
+            )
         logt_sorted = [plan.sorted_values(logt, j) for j in range(d)]
 
     history = [logq_objective(factors, indices, values, lam)]

@@ -311,6 +311,37 @@ class ObservationPlan:
         """``values[order_j]`` — targets in mode-``j`` segment order."""
         return values[self.mode(j).order]
 
+    # -- streaming reuse (incremental refits) ------------------------------
+
+    def matches(self, shape, indices: np.ndarray) -> bool:
+        """Whether this plan describes exactly ``(shape, indices)``.
+
+        A plan depends only on the observation *index set*, never on the
+        observed values, so a streaming update whose new measurements all
+        land in already-observed cells can reuse the plan (argsorts,
+        segment bounds, Khatri-Rao and padding buffers) verbatim.
+        """
+        indices = np.asarray(indices)
+        if tuple(int(I) for I in shape) != self.shape:
+            return False
+        if indices.shape != self.indices.shape:
+            return False
+        return indices is self.indices or bool(
+            np.array_equal(indices, self.indices)
+        )
+
+    def extended(self, shape, indices: np.ndarray) -> "ObservationPlan":
+        """This plan when the observation set is unchanged, else a fresh one.
+
+        The invalidation point of the streaming path: new observed cells
+        (or a widened grid) change segment bounds and buffer sizes, so
+        everything is rebuilt; an unchanged index set returns ``self`` and
+        the warm-start sweep allocates nothing.
+        """
+        if self.matches(shape, indices):
+            return self
+        return ObservationPlan(shape, np.asarray(indices, dtype=np.intp))
+
 
 def cp_full(factors: list) -> np.ndarray:
     """Materialize the dense tensor represented by ``factors`` (tests only)."""

@@ -65,9 +65,17 @@ class Mode:
     def __getstate__(self):
         # Drop the lazy transform cache: pickled size must not depend on
         # whether the mode has served a prediction yet (size accounting
-        # and persistence share the pickled representation).
+        # and persistence share the pickled representation).  Arrays are
+        # rebound to canonical dtype instances so the pickled bytes — and
+        # hence the registry's content digest — are identical whether this
+        # grid was just built or itself restored from a payload.
+        from repro.utils.serialization import canonical_array
+
         state = dict(self.__dict__)
         state.pop("_midpoints_h", None)
+        for key, value in state.items():
+            if isinstance(value, np.ndarray):
+                state[key] = canonical_array(value)
         return state
 
     def __repr__(self):

@@ -28,7 +28,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.apps.base import ParameterSpace
-from repro.core.completion import OPTIMIZERS, cp_eval, cp_size_bytes
+from repro.core.completion import (
+    OPTIMIZERS,
+    ObservationPlan,
+    cp_eval,
+    cp_size_bytes,
+)
 from repro.core.extrap import ModeExtrapolator
 from repro.core.grid import LogMode, TensorGrid, UniformMode
 from repro.core.interp import interpolate
@@ -180,10 +185,29 @@ class CPRModel:
             targets = tensor.values / np.exp(self.offset_)
 
         self._observed_rows_ = None
+        self._plan_ = None
         self._run_completion(tensor, targets, warm_start=False)
         self._impute_unobserved_rows()
         self._extrapolators: dict[int, ModeExtrapolator] = {}
         return self
+
+    def _completion_plan(self, tensor):
+        """Reuse (or rebuild) the fit-wide observation plan for a solve.
+
+        The plan depends only on the observed index set; a streaming
+        ``partial_fit`` whose new measurements all landed in
+        already-observed cells therefore reuses the previous fit's
+        argsorts, segment bounds, and Khatri-Rao buffers verbatim — the
+        dominant cost of setting up a sweep.  Any change to the index set
+        (new cells, widened grid) invalidates and rebuilds.
+        """
+        plan = getattr(self, "_plan_", None)
+        if plan is None:
+            plan = ObservationPlan(self.grid_.shape, tensor.indices)
+        else:
+            plan = plan.extended(self.grid_.shape, tensor.indices)
+        self._plan_ = plan
+        return plan
 
     def _run_completion(self, tensor, targets, warm_start: bool) -> None:
         """Optimize the decomposition; subclasses swap the model family."""
@@ -191,6 +215,11 @@ class CPRModel:
         kwargs = dict(self.opt_params)
         if warm_start:
             kwargs["factors"] = self.factors_
+        if (
+            self.optimizer in ("als", "amn")
+            and kwargs.get("kernel", "batched") == "batched"
+        ):
+            kwargs["plan"] = self._completion_plan(tensor)
         self.result_ = fn(
             self.grid_.shape,
             tensor.indices,
@@ -224,19 +253,27 @@ class CPRModel:
         warm-start a few optimizer sweeps from the current factors.
 
         The grid is fixed at the first ``fit``; configurations outside the
-        original modeling domain are clipped into its edge cells.
+        original modeling domain are clipped into its edge cells.  An empty
+        batch is an exact no-op (the streaming trainer may flush between
+        arrivals), and a model restored by ``load_model`` updates like a
+        never-persisted one: the persisted payload carries the observed
+        tensor (see ``__getstate_fit__``) unless it was saved with
+        ``fit_state=False``.
         """
         self._require_fitted()
         if not hasattr(self, "tensor_"):
             raise RuntimeError(
-                "partial_fit needs the full fitted object; this model was "
-                "restored from its minimal prediction state (save_model)"
+                "partial_fit needs the observed tensor; this model was "
+                "restored from a prediction-only snapshot "
+                "(save_model(..., fit_state=False))"
             )
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
             X = X[:, None]
         y = check_positive(check_1d(y, "y"), "y")
         check_matching_rows(X, y)
+        if len(y) == 0:
+            return self
         if self.space is not None:
             X = self.space.validate(X)
         new = ObservedTensor.from_data(self.grid_, X, y)
@@ -571,13 +608,45 @@ class CPRModel:
             state["log_bounds"] = (self._log_lo, self._log_hi)
         return state
 
+    def __getstate_fit__(self) -> dict | None:
+        """Compact fit-time state enabling ``partial_fit`` after restore.
+
+        The observed tensor (cell multi-indices, running means, counts) is
+        the *sufficient statistic* of everything a warm-start update
+        needs — merging new measurements into it reproduces exactly the
+        tensor a never-persisted model would hold.  It is persisted
+        alongside (not inside) the minimal prediction state, so the
+        Figure 7 size metric (``size_bytes``) keeps measuring the
+        prediction state only; see ``repro.utils.serialization``.
+        """
+        if not hasattr(self, "tensor_"):
+            return None
+        # Counts are persisted as float (the dtype `ObservedTensor.merge`
+        # produces) so a fitted-then-updated model and a restored-then-
+        # updated one serialize identically.
+        return {
+            "indices": self.tensor_.indices,
+            "values": self.tensor_.values,
+            "counts": np.asarray(self.tensor_.counts, dtype=float),
+        }
+
+    def _restore_fit_state(self, fit: dict) -> None:
+        """Rebuild ``tensor_`` from :meth:`__getstate_fit__` (post-restore)."""
+        self.tensor_ = ObservedTensor(
+            grid=self.grid_,
+            indices=np.asarray(fit["indices"], dtype=np.intp),
+            values=np.asarray(fit["values"], dtype=float),
+            counts=np.asarray(fit["counts"], dtype=float),
+        )
+
     @classmethod
     def _from_minimal_state(cls, state: dict) -> "CPRModel":
         """Rebuild a predict-capable model from :meth:`__getstate_for_size__`.
 
         The restored model predicts identically to the original and keeps
-        its hyper-parameter configuration; ``partial_fit`` (which needs
-        the observation tensor) raises until the model is refitted, and
+        its hyper-parameter configuration.  ``loads_model`` additionally
+        restores the observed tensor when the payload carries it (the
+        default), making ``partial_fit`` work on restored models;
         refitting with a parameter space requires setting ``.space``
         again (spaces may hold non-persistable constraint callables).
         """
@@ -590,6 +659,7 @@ class CPRModel:
         m.rank = int(state["rank"])
         m._observed_rows_ = list(state["observed"])
         m._extrapolators = {}
+        m._plan_ = None
         if "log_bounds" in state:
             m._log_lo, m._log_hi = (float(v) for v in state["log_bounds"])
         m.space = None

@@ -108,8 +108,29 @@ class ModelRegistry:
         self._cache: OrderedDict[str, object] = OrderedDict()  # digest -> model
         self._hits = 0
         self._misses = 0
+        self._publish_hooks: list = []
         (self.root / "objects").mkdir(parents=True, exist_ok=True)
         (self.root / "models").mkdir(parents=True, exist_ok=True)
+
+    # -- publish hooks ---------------------------------------------------------
+
+    def add_publish_hook(self, hook) -> None:
+        """Register ``hook(mv: ModelVersion)``, called after each publish.
+
+        The streaming pipeline uses this to observe drift-triggered
+        republishes (telemetry, hot-swapping a local engine); hooks run
+        in the publisher's thread *after* the version is claimed, so a
+        raising hook surfaces to the publisher but can no longer undo or
+        corrupt the publish.  In-process only — hooks see publishes
+        through this registry object, not other processes'.
+        """
+        with self._lock:
+            self._publish_hooks.append(hook)
+
+    def remove_publish_hook(self, hook) -> None:
+        """Unregister a hook added with :meth:`add_publish_hook`."""
+        with self._lock:
+            self._publish_hooks.remove(hook)
 
     # -- paths -----------------------------------------------------------------
 
@@ -171,9 +192,14 @@ class ModelRegistry:
                 continue  # another publisher claimed it; take the next
             finally:
                 os.unlink(tmp)
-            return ModelVersion(
+            mv = ModelVersion(
                 name, version, digest, record["created"], record["meta"]
             )
+            with self._lock:
+                hooks = list(self._publish_hooks)
+            for hook in hooks:
+                hook(mv)
+            return mv
 
     # -- resolution ------------------------------------------------------------
 

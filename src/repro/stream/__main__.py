@@ -1,0 +1,156 @@
+"""``python -m repro.stream`` — replay an application as a live stream.
+
+Replays measured configurations of any ``repro.apps`` application as a
+timed observation stream against a live in-process
+:class:`~repro.serve.ModelServer`: every batch is scored through the
+*server* (so the drift signal reflects what consumers see), folded into
+the model via the partial-vs-refit policy, and republished on refit —
+which the server picks up on its next ``name@latest`` resolution,
+without restarting.  With ``--journal`` the stream is resumable: rerun
+the same command and it continues from the last published version plus
+the journal tail.
+
+Example::
+
+    python -m repro.stream --app bcast --registry /tmp/reg \
+        --n 200 --batch 32 --journal /tmp/bcast.jsonl
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.apps import get_application
+from repro.serve import ModelRegistry, ModelServer
+from repro.stream.buffer import ObservationBuffer
+from repro.stream.drift import DriftMonitor
+from repro.stream.pipeline import StreamSession, replay_application
+from repro.stream.runner import make_model_factory
+from repro.stream.trainer import IncrementalTrainer
+
+
+def _fmt(record: dict) -> str:
+    parts = [f"action={record['action']}"]
+    if record.get("reason"):
+        parts.append(f"reason={record['reason']}")
+    if record.get("published_version"):
+        parts.append(f"published=v{record['published_version']}")
+    if record.get("batch_error") is not None:
+        parts.append(f"err={record['batch_error']:.3f}")
+    rolling = record.get("rolling_error")
+    if rolling is not None and not np.isnan(rolling):
+        parts.append(f"rolling={rolling:.3f}")
+    return " ".join(parts)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.stream",
+        description="Replay an application as a streaming observation pipeline.",
+    )
+    parser.add_argument("--app", required=True,
+                        help="application name (e.g. bcast, matmul, kripke)")
+    parser.add_argument("--registry", required=True,
+                        help="ModelRegistry directory to publish into")
+    parser.add_argument("--name", default=None,
+                        help="registry model name (default: <app>-stream)")
+    parser.add_argument("--n", type=int, default=256,
+                        help="observations to replay")
+    parser.add_argument("--batch", type=int, default=32,
+                        help="observations per stream batch")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cells", type=int, default=8)
+    parser.add_argument("--rank", type=int, default=3)
+    parser.add_argument("--loss", default="log_mse",
+                        choices=["log_mse", "mlogq2"])
+    parser.add_argument("--max-sweeps", type=int, default=30)
+    parser.add_argument("--partial-sweeps", type=int, default=None,
+                        help="sweep budget per warm-start update")
+    parser.add_argument("--window", type=int, default=4096,
+                        help="refit retention window (observations)")
+    parser.add_argument("--journal", default=None,
+                        help="journal file; enables resume across runs")
+    parser.add_argument("--rate", type=float, default=0.0,
+                        help="observations per second (0 = full speed)")
+    parser.add_argument("--drift-window", type=int, default=64)
+    parser.add_argument("--drift-threshold", type=float, default=0.25)
+    parser.add_argument("--drift-min-count", type=int, default=24)
+    args = parser.parse_args(argv)
+
+    app = get_application(args.app)
+    name = args.name or f"{args.app}-stream"
+    registry = ModelRegistry(args.registry)
+    server = ModelServer(registry, default_model=name)
+    factory = make_model_factory(
+        app.space, cells=args.cells, rank=args.rank, loss=args.loss,
+        max_sweeps=args.max_sweeps, seed=args.seed,
+    )
+    monitor = DriftMonitor(
+        window=args.drift_window,
+        threshold=args.drift_threshold,
+        min_count=args.drift_min_count,
+    )
+    trainer = IncrementalTrainer(
+        factory, monitor=monitor, partial_sweeps=args.partial_sweeps
+    )
+    meta = {"app": args.app, "seed": args.seed}
+    if args.journal is not None:
+        session = StreamSession.resume(
+            registry, name, args.journal, factory, window=args.window,
+            monitor=monitor, trainer=trainer, meta=meta,
+        )
+        if session.resumed_from is not None:
+            pending = session.buffer.n_seen - session.buffer.flushed
+            print(
+                f"[stream] resume: journal seq={session.buffer.n_seen}, "
+                f"registry {name}@v{registry.resolve(name).version} "
+                f"consumed={session.resumed_from}, pending={pending}"
+            )
+            if pending:
+                print(f"[stream] resume flush: {_fmt(session.flush())}")
+    else:
+        session = StreamSession(
+            registry, name, factory,
+            buffer=ObservationBuffer(window=args.window),
+            monitor=monitor, trainer=trainer, meta=meta,
+        )
+
+    def server_predict(X):
+        resp = server.handle({"op": "predict", "model": name, "x": X.tolist()})
+        if not resp.get("ok"):
+            raise RuntimeError(f"server predict failed: {resp.get('error')}")
+        return np.array(
+            [v if v is not None else np.nan for v in resp["y"]], dtype=float
+        )
+
+    def on_batch(i, record):
+        served = ""
+        if session.published_versions:
+            served = f" served={name}@v{session.published_versions[-1]}"
+        print(f"[stream] batch {i}: n={record['n_new']}{served} {_fmt(record)}")
+        if args.rate > 0:
+            time.sleep(args.batch / args.rate)
+
+    summary = replay_application(
+        app, session, args.n, batch=args.batch, seed=args.seed,
+        predict_fn=server_predict, on_batch=on_batch,
+    )
+    session.buffer.close()
+    trainer_rec = summary["trainer"]
+    rolling = summary["drift"]["error"]
+    print(
+        f"[stream] done: app={args.app} name={name} "
+        f"n={summary['n_observations']} fit={trainer_rec['fit']} "
+        f"partial={trainer_rec['partial']} refit={trainer_rec['refit']} "
+        f"republished={summary['republished']} "
+        f"versions={summary['published_versions']} "
+        f"rolling_error={rolling if rolling is not None else float('nan'):.3f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Rolling prequential drift detection for streaming model maintenance.
+
+Each arriving observation is scored by the *current* model before it is
+absorbed (prequential / interleaved test-then-train evaluation), so the
+rolling window is an honest holdout: the model never saw the points it
+is being judged on.  The error unit is the paper's MLogQ — ``|log(pred /
+true)|`` — which is scale-independent and symmetric in over/under
+prediction, so one threshold works across applications and time units.
+"""
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["DriftMonitor"]
+
+
+class DriftMonitor:
+    """Track rolling MLogQ over the last ``window`` observations.
+
+    Parameters
+    ----------
+    window
+        Number of recent per-observation errors retained.
+    threshold
+        Rolling mean MLogQ above which :meth:`should_refit` trips.
+        (MLogQ 0.25 ≈ a typical 28% relative error.)
+    min_count
+        Errors required before the monitor may trip — a fresh (or
+        freshly refitted) model is not judged on a handful of points.
+    """
+
+    def __init__(
+        self, window: int = 128, threshold: float = 0.25, min_count: int = 32
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.window = int(window)
+        self.threshold = float(threshold)
+        self.min_count = max(int(min_count), 1)
+        self._errors: deque = deque(maxlen=self.window)
+        self.n_recorded = 0
+        self.n_triggers = 0
+
+    def record(self, y_pred, y_true) -> float:
+        """Absorb one scored batch; return its mean MLogQ."""
+        y_pred = np.asarray(y_pred, dtype=float)
+        y_true = np.asarray(y_true, dtype=float)
+        if y_pred.shape != y_true.shape:
+            raise ValueError("y_pred and y_true must have matching shapes")
+        if len(y_true) == 0:
+            return float("nan")
+        errs = np.abs(np.log(np.maximum(y_pred, 1e-300) / y_true))
+        # A non-finite prediction (overflowed extrapolation, a server
+        # null) is maximal drift evidence, not a hole in the window.
+        errs = np.nan_to_num(errs, nan=50.0, posinf=50.0)
+        self._errors.extend(float(e) for e in errs)
+        self.n_recorded += len(errs)
+        return float(errs.mean())
+
+    @property
+    def count(self) -> int:
+        """Errors currently in the rolling window."""
+        return len(self._errors)
+
+    @property
+    def error(self) -> float:
+        """Rolling mean MLogQ (``nan`` while the window is empty)."""
+        if not self._errors:
+            return float("nan")
+        return float(np.mean(self._errors))
+
+    def should_refit(self) -> bool:
+        """Whether sustained error warrants a full refit + republish."""
+        if self.count < self.min_count:
+            return False
+        if self.error <= self.threshold:
+            return False
+        self.n_triggers += 1
+        return True
+
+    def reset(self) -> None:
+        """Clear the window (call after a refit: old errors judged an old model)."""
+        self._errors.clear()
+
+    def to_record(self) -> dict:
+        """JSON-serializable telemetry snapshot."""
+        err = self.error
+        return {
+            "window": self.window,
+            "threshold": self.threshold,
+            "count": self.count,
+            "error": None if np.isnan(err) else err,
+            "recorded": self.n_recorded,
+            "triggers": self.n_triggers,
+        }
+
+    def __repr__(self):
+        return (
+            f"DriftMonitor(error={self.error:.4f}, count={self.count}, "
+            f"threshold={self.threshold})"
+        )

@@ -1,0 +1,219 @@
+"""Orchestration: buffer + trainer + monitor + registry as one loop.
+
+A :class:`StreamSession` turns the repo's fit→publish→serve pipeline
+into a *continuous* one: observations stream in, each batch is scored
+prequentially (drift signal), appended to the journaled buffer, flushed
+into the model through the :class:`IncrementalTrainer` policy, and —
+whenever the model was (re)fitted rather than warm-updated — republished
+into the :class:`~repro.serve.ModelRegistry` as a new version.  A live
+:class:`~repro.serve.ModelServer` over the same registry picks the new
+version up on its next ``name@latest`` resolution; nothing restarts.
+
+Resumability mirrors ``repro.runtime``: the published manifest records
+``stream_seq`` (how much of the journal the published model absorbed),
+so :meth:`StreamSession.resume` reloads the latest version — whose
+payload carries the observed tensor (PR 5's fit-state persistence) — and
+replays only the journal tail past that point.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stream.buffer import ObservationBuffer
+from repro.stream.drift import DriftMonitor
+from repro.stream.trainer import IncrementalTrainer
+
+__all__ = ["StreamSession", "replay_application"]
+
+
+class StreamSession:
+    """One named model's streaming update loop against a registry.
+
+    Parameters
+    ----------
+    registry
+        :class:`~repro.serve.ModelRegistry` to publish into (``None``
+        disables publishing — buffer/trainer still run).
+    name
+        Registry model name (also the server-side reference).
+    model_factory
+        Zero-argument callable building an unfitted model (see
+        :class:`IncrementalTrainer`).
+    buffer, monitor, trainer
+        Injectable components; sensible defaults are built when omitted.
+    meta
+        Extra key/values merged into every published manifest.
+    """
+
+    def __init__(
+        self,
+        registry,
+        name: str,
+        model_factory,
+        buffer: ObservationBuffer | None = None,
+        monitor: DriftMonitor | None = None,
+        trainer: IncrementalTrainer | None = None,
+        meta: dict | None = None,
+    ):
+        self.registry = registry
+        self.name = name
+        self.buffer = buffer if buffer is not None else ObservationBuffer()
+        self.monitor = monitor if monitor is not None else DriftMonitor()
+        self.trainer = trainer if trainer is not None else IncrementalTrainer(
+            model_factory, monitor=self.monitor
+        )
+        self.meta = dict(meta or {})
+        self.published_versions: list[int] = []
+        self.resumed_from: int | None = None
+
+    # -- resuming --------------------------------------------------------------
+
+    @classmethod
+    def resume(
+        cls,
+        registry,
+        name: str,
+        journal,
+        model_factory,
+        window: int | None = None,
+        **kwargs,
+    ) -> "StreamSession":
+        """Rebuild a session from its journal and last published version.
+
+        The journal is replayed into the buffer; if ``name`` has a
+        published version, its model (restored *with* fit state, so
+        ``partial_fit`` works) is adopted and the buffer's flush mark is
+        set to the manifest's ``stream_seq`` — the next :meth:`flush`
+        absorbs exactly the journal tail the published model missed.
+        """
+        from repro.utils.serialization import dumps_model, loads_model
+
+        buffer = ObservationBuffer.open(journal, window=window)
+        session = cls(registry, name, model_factory, buffer=buffer, **kwargs)
+        if registry is not None and name in registry:
+            # One resolution serves both the model bytes and the cursor:
+            # resolving twice could pair version N's ``stream_seq`` with a
+            # concurrently published version N+1's model and double-merge
+            # the journal rows in between.
+            model, mv = registry.load_resolved(registry.resolve(name))
+            # A private copy: the registry's LRU hands out *shared* model
+            # objects, and the trainer mutates its model in place — a
+            # server over the same registry must never observe those
+            # mutations through the cache.  (The round trip is the
+            # digest-stable serialization path, so the copy is exact.)
+            session.trainer.adopt(loads_model(dumps_model(model)))
+            consumed = min(int(mv.meta.get("stream_seq", 0)), buffer.n_seen)
+            session.resumed_from = consumed
+            buffer.mark_flushed(consumed)
+        return session
+
+    @property
+    def model(self):
+        return self.trainer.model
+
+    # -- the loop --------------------------------------------------------------
+
+    def observe(self, X, y, predict_fn=None) -> dict:
+        """Score, journal, and absorb one measurement batch.
+
+        ``predict_fn`` overrides where the prequential predictions come
+        from (the CLI passes the live server's predict path so the drift
+        signal reflects what consumers actually see; default is the live
+        trainer model).  Returns the flush record plus scoring telemetry.
+        """
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        batch_err = None
+        if self.trainer.model is not None and len(y):
+            fn = predict_fn if predict_fn is not None else self.trainer.model.predict
+            batch_err = self.monitor.record(np.asarray(fn(X), dtype=float), y)
+        self.buffer.append(X, y)
+        record = self.flush()
+        record["batch_error"] = batch_err
+        record["rolling_error"] = self.monitor.error
+        return record
+
+    def flush(self) -> dict:
+        """Absorb pending observations; publish when the model was (re)fitted."""
+        X_new, y_new = self.buffer.since(self.buffer.flushed)
+        # The refit set is passed lazily: the common partial path never
+        # materializes the retention window.
+        record = self.trainer.update(X_new, y_new, self.buffer.refit_arrays)
+        self.buffer.mark_flushed()
+        if record["action"] in ("fit", "refit"):
+            version = self.publish(reason=record.get("reason", ""))
+            record["published_version"] = version
+        return record
+
+    def publish(self, reason: str = "") -> int | None:
+        """Publish the current model as the next registry version."""
+        if self.registry is None or self.trainer.model is None:
+            return None
+        meta = dict(self.meta)
+        meta.update(
+            {
+                "stream_seq": self.buffer.flushed,
+                "reason": reason,
+                "rolling_error": None
+                if np.isnan(self.monitor.error)
+                else float(self.monitor.error),
+            }
+        )
+        mv = self.registry.publish(self.name, self.trainer.model, meta=meta)
+        self.published_versions.append(mv.version)
+        return mv.version
+
+    @property
+    def republished(self) -> int:
+        """Publishes that superseded an existing version (v2 and later)."""
+        return sum(1 for v in self.published_versions if v > 1)
+
+    def summary(self) -> dict:
+        """JSON-serializable end-of-stream report."""
+        return {
+            "name": self.name,
+            "n_observations": self.buffer.n_seen,
+            "flushed": self.buffer.flushed,
+            "resumed_from": self.resumed_from,
+            "trainer": self.trainer.to_record(),
+            "drift": self.monitor.to_record(),
+            "published_versions": list(self.published_versions),
+            "republished": self.republished,
+        }
+
+
+def replay_application(
+    app,
+    session: StreamSession,
+    n: int,
+    batch: int = 32,
+    seed: int = 0,
+    sigma=None,
+    predict_fn=None,
+    on_batch=None,
+) -> dict:
+    """Replay ``n`` measured configurations of ``app`` as a batched stream.
+
+    Configurations are sampled from the application's parameter space and
+    measured with its noise model — both driven by one seeded generator,
+    so a replay is a pure function of ``(app, n, batch, seed, sigma)``.
+    ``on_batch(i, record)`` observes each flush (the CLI prints from it).
+    Returns :meth:`StreamSession.summary`.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    rng = np.random.default_rng(seed)
+    done = 0
+    i = 0
+    while done < n:
+        m = min(batch, n - done)
+        X = app.space.sample(m, rng=rng)
+        y = app.measure(X, rng=rng, sigma=sigma)
+        record = session.observe(X, y, predict_fn=predict_fn)
+        if on_batch is not None:
+            on_batch(i, record)
+        done += m
+        i += 1
+    return session.summary()

@@ -188,6 +188,96 @@ class TestSkewFallback:
         _assert_factors_close(ref.factors, bat.factors)
 
 
+class TestPartialFitEquivalence:
+    """The streaming warm-start path must agree between kernels.
+
+    ``partial_fit`` merges new measurements into the observed tensor and
+    runs a few warm-start sweeps from the current factors; the batched
+    path additionally reuses (or, when the observed index set changed,
+    rebuilds) the fit-wide observation plan.  Both paths must agree with
+    the per-row reference to 1e-8 after the update, including new rows
+    with ragged multiplicities and observations clipped into the grid's
+    boundary cells.
+    """
+
+    def _data(self, seed, n=300, lo=1.0, hi=64.0):
+        gen = np.random.default_rng(seed)
+        X = np.exp(gen.uniform(np.log(lo), np.log(hi), size=(n, 2)))
+        y = 1e-3 * X[:, 0] ** 1.3 * X[:, 1] ** 0.6 * np.exp(
+            gen.normal(0, 0.05, size=n)
+        )
+        return X, y
+
+    def _pair(self, loss):
+        from repro.core import CPRModel
+
+        kw = dict(cells=6, rank=2, seed=0, loss=loss)
+        if loss == "mlogq2":
+            kw.update(max_sweeps=1, newton_iters=6, barrier_min=1e-1)
+        return (
+            CPRModel(kernel="reference", **kw),
+            CPRModel(kernel="batched", **kw),
+        )
+
+    @pytest.mark.parametrize("loss", ["log_mse", "mlogq2"])
+    def test_partial_fit_known_cells_matches(self, loss):
+        """New observations inside observed cells (plan reused verbatim)."""
+        X, y = self._data(seed=0)
+        ref, bat = self._pair(loss)
+        ref.fit(X, y)
+        bat.fit(X, y)
+        plan_before = bat._plan_
+        # Jittered re-measurements of seen configurations: same cells.
+        gen = np.random.default_rng(1)
+        Xn, yn = X[:80], y[:80] * np.exp(gen.normal(0, 0.02, 80))
+        ref.partial_fit(Xn, yn, max_sweeps=3)
+        bat.partial_fit(Xn, yn, max_sweeps=3)
+        assert bat._plan_ is plan_before  # unchanged cells: buffers reused
+        _assert_factors_close(ref._factor_list(), bat._factor_list())
+        q = self._data(seed=9, n=64)[0]
+        np.testing.assert_allclose(bat.predict(q), ref.predict(q), rtol=1e-8)
+
+    @pytest.mark.parametrize("loss", ["log_mse", "mlogq2"])
+    def test_partial_fit_ragged_new_rows_matches(self, loss):
+        """New observations opening new cells/fibers, with heavy skew."""
+        X, y = self._data(seed=2, lo=1.0, hi=8.0)  # initial: low corner only
+        ref, bat = self._pair(loss)
+        # Widen the grid over the full range up front (the streaming
+        # trainer's refit handles widening; partial_fit's contract is a
+        # fixed grid), then feed updates concentrated on unseen rows.
+        Xw, yw = self._data(seed=3, n=40, lo=1.0, hi=64.0)
+        ref.fit(np.vstack([X, Xw]), np.concatenate([y, yw]))
+        bat.fit(np.vstack([X, Xw]), np.concatenate([y, yw]))
+        gen = np.random.default_rng(4)
+        # Ragged multiplicities: one repeated configuration dominates.
+        Xn, yn = self._data(seed=5, n=120, lo=32.0, hi=64.0)
+        Xn[:60] = Xn[0]
+        yn[:60] = yn[0] * np.exp(gen.normal(0, 0.01, 60))
+        plan_before = bat._plan_
+        ref.partial_fit(Xn, yn, max_sweeps=3)
+        bat.partial_fit(Xn, yn, max_sweeps=3)
+        assert bat._plan_ is not plan_before  # new cells: plan invalidated
+        _assert_factors_close(ref._factor_list(), bat._factor_list())
+
+    @pytest.mark.parametrize("loss", ["log_mse", "mlogq2"])
+    def test_partial_fit_grid_boundary_cells_match(self, loss):
+        """Out-of-range updates clip into edge cells identically."""
+        X, y = self._data(seed=6)
+        ref, bat = self._pair(loss)
+        ref.fit(X, y)
+        bat.fit(X, y)
+        # Beyond both domain edges: clipped into the first/last cells.
+        Xn = np.array([[0.1, 0.1], [500.0, 500.0], [0.05, 300.0]] * 5)
+        yn = np.geomspace(1e-4, 1e-2, len(Xn))
+        ref.partial_fit(Xn, yn, max_sweeps=2)
+        bat.partial_fit(Xn, yn, max_sweeps=2)
+        _assert_factors_close(ref._factor_list(), bat._factor_list())
+        edge = np.array([[X[:, 0].min(), X[:, 1].max()]])
+        np.testing.assert_allclose(
+            bat.predict(edge), ref.predict(edge), rtol=1e-8
+        )
+
+
 class TestPlanInvariants:
     def test_plan_segments_partition_observations(self):
         shape = (9, 6, 5)

@@ -5,8 +5,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import CPRModel
+from repro.core.completion import complete_als, complete_amn
 from repro.core.grid import LogMode, TensorGrid, UniformMode
 from repro.core.tensor import ObservedTensor
+
+KERNELS = ("reference", "batched")
 
 
 def _make_data(seed, n=400):
@@ -70,6 +73,116 @@ class TestModelInvariants:
         Xq = np.exp(gen.uniform(0.0, np.log(512.0), size=(60, 2)))
         pred = m.predict(Xq)
         assert np.all(pred > 0) and np.all(np.isfinite(pred))
+
+
+def _observations(seed, d=3, positive=False):
+    """A seeded random completion problem with repeated cells."""
+    gen = np.random.default_rng(seed)
+    shape = tuple(gen.integers(4, 8, size=d))
+    nnz = 40 * d
+    idx = np.stack([gen.integers(0, I, nnz) for I in shape], axis=1)
+    vals = gen.normal(0.5, 0.4, nnz)
+    if positive:
+        vals = np.exp(vals)
+    return shape, np.ascontiguousarray(idx), vals
+
+
+class TestCompletionInvariants:
+    """Seeded metamorphic invariants of the ALS/AMN fits, per kernel."""
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_als_observation_permutation_invariance(self, kernel, seed):
+        """Fitting a permutation of the observations gives the same factors.
+
+        The batched kernel re-sorts per mode and the reference kernel
+        loops rows in index order, so the only permutation sensitivity
+        left is float summation order within a cell's segment — bounded
+        far below the asserted tolerance.
+        """
+        shape, idx, vals = _observations(seed)
+        perm = np.random.default_rng(seed + 1).permutation(len(vals))
+        kw = dict(rank=2, regularization=1e-5, max_sweeps=4, tol=0.0,
+                  seed=0, kernel=kernel)
+        a = complete_als(shape, idx, vals, **kw)
+        b = complete_als(shape, idx[perm], vals[perm], **kw)
+        for U, V in zip(a.factors, b.factors):
+            np.testing.assert_allclose(V, U, rtol=0,
+                                       atol=1e-7 * np.abs(U).max())
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_amn_observation_permutation_invariance(self, kernel, seed):
+        shape, idx, vals = _observations(seed, positive=True)
+        perm = np.random.default_rng(seed + 1).permutation(len(vals))
+        kw = dict(rank=2, regularization=1e-5, max_sweeps=1, tol=1e-6,
+                  seed=0, newton_iters=4, barrier_min=1e-1, kernel=kernel)
+        a = complete_amn(shape, idx, vals, **kw)
+        b = complete_amn(shape, idx[perm], vals[perm], **kw)
+        for U, V in zip(a.factors, b.factors):
+            np.testing.assert_allclose(V, U, rtol=0,
+                                       atol=1e-7 * np.abs(U).max())
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("loss", ["log_mse", "mlogq2"])
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(0, 200), scale=st.floats(1e-2, 1e2))
+    def test_target_scale_equivariance_per_kernel(
+        self, kernel, loss, seed, scale
+    ):
+        """Rescaling the targets rescales predictions linearly, per kernel.
+
+        Both models absorb a global factor into ``offset_`` (the mean
+        log-time), leaving the factor optimization identical — so this
+        holds for the positive AMN model too, not just log-MSE/ALS.
+        """
+        X, y = _make_data(seed, n=250)
+        kw = dict(cells=5, rank=2, seed=0, loss=loss, kernel=kernel)
+        if loss == "mlogq2":
+            kw.update(max_sweeps=1, newton_iters=5, barrier_min=1e-1)
+        a = CPRModel(**kw).fit(X, y)
+        b = CPRModel(**kw).fit(X, y * scale)
+        np.testing.assert_allclose(
+            b.predict(X[:30]), scale * a.predict(X[:30]), rtol=1e-7
+        )
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("loss", ["log_mse", "mlogq2"])
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_partial_fit_zero_new_observations_idempotent(
+        self, kernel, loss, seed
+    ):
+        """``partial_fit`` on an empty batch is an exact no-op, per kernel."""
+        X, y = _make_data(seed, n=250)
+        kw = dict(cells=5, rank=2, seed=0, loss=loss, kernel=kernel)
+        if loss == "mlogq2":
+            kw.update(max_sweeps=1, newton_iters=5, barrier_min=1e-1)
+        m = CPRModel(**kw).fit(X, y)
+        before = m.predict(X[:40]).copy()
+        m.partial_fit(np.empty((0, 2)), np.empty(0))
+        np.testing.assert_array_equal(m.predict(X[:40]), before)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_partial_fit_duplicate_data_keeps_cell_means(self, kernel, seed):
+        """Re-feeding the training set doubles counts but not cell means.
+
+        The observed tensor is a counts-weighted sufficient statistic:
+        duplicating the data must leave every cell mean (and hence the
+        completion targets) bit-comparable, so the warm start continues
+        from an unchanged objective.
+        """
+        X, y = _make_data(seed, n=250)
+        m = CPRModel(cells=5, rank=2, seed=0, kernel=kernel).fit(X, y)
+        values = m.tensor_.values.copy()
+        counts = m.tensor_.counts.copy()
+        m.partial_fit(X, y)
+        np.testing.assert_allclose(m.tensor_.values, values, rtol=1e-12)
+        np.testing.assert_array_equal(m.tensor_.counts, 2 * counts)
 
 
 class TestTensorInvariants:

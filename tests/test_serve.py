@@ -53,6 +53,27 @@ def test_model_digest_content_addressed(bcast_data, fitted):
     assert model_digest(other) != model_digest(fitted)
 
 
+def test_model_digest_fixed_point_across_restore(bcast_data, fitted):
+    """fit→dump→load→dump must be byte-identical (republish dedup).
+
+    A streaming follower that loads a published model and republishes it
+    unchanged must hit the same content-addressed blob; likewise, a
+    restored-then-updated model must serialize exactly like a never-
+    persisted one (pickle memoization of dtype instances used to leak
+    object identity into the bytes — see ``canonical_array``).
+    """
+    app, train, _ = bcast_data
+    clone = loads_model(dumps_model(fitted))
+    assert model_digest(clone) == model_digest(fitted)
+    assert model_digest(loads_model(dumps_model(clone))) == model_digest(fitted)
+    new = generate_dataset(app, 64, seed=5)
+    a = _fit(app, train)
+    b = loads_model(dumps_model(fitted))
+    a.partial_fit(new.X, new.y)
+    b.partial_fit(new.X, new.y)
+    assert model_digest(a) == model_digest(b)
+
+
 # -- registry ------------------------------------------------------------------
 
 
@@ -507,6 +528,126 @@ def test_registry_manifest_never_visible_half_written(tmp_path, fitted):
     assert reg.versions("m") == [1]  # no orphan v2 manifest
     assert reg.resolve("m").version == 1
     assert not list(reg._model_dir("m").glob("*.tmp"))
+
+
+def test_server_concurrent_predict_while_republishing(tmp_path, bcast_data):
+    """Stress: predictions racing republishes never see a torn/stale model.
+
+    Extends the PR 4 registry guarantee to the full server path (engine
+    cache + microbatcher + protocol): while publishers keep superseding
+    ``m``, every concurrent ``predict`` response must (a) succeed and
+    (b) equal — exactly — the prediction of one actually-published
+    version, with the reported model ref matching the values.  A torn
+    read (factors from one version, offset from another) or a stale
+    digest-cache entry would produce a vector matching no version.
+    """
+    app, train, test = bcast_data
+    Xq = test.X[:8]
+    models = [_fit(app, train, seed=s, rank=2 + (s % 2)) for s in range(6)]
+    expected = {}  # version -> prediction vector (versions are dense 1..N)
+    reg = ModelRegistry(tmp_path, cache_size=3)
+    srv = ModelServer(reg, default_model="m", microbatch=True, max_delay_ms=0.5)
+    expected[1] = models[0].predict(Xq)
+    reg.publish("m", models[0])
+
+    stop = threading.Event()
+    errors: list = []
+    bad: list = []
+    n_ok = [0]
+    start = threading.Barrier(7)
+
+    def publisher():
+        try:
+            start.wait()
+            for i in range(1, 18):
+                model = models[i % len(models)]
+                # Compute the expectation *before* the version exists so
+                # no reader can observe a version we cannot check.
+                expected[1 + i] = model.predict(Xq)
+                reg.publish("m", model)
+                time.sleep(0.001)
+        except BaseException as exc:  # noqa: BLE001 - collected for assertion
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    def client():
+        try:
+            start.wait()
+            while not stop.is_set() or n_ok[0] == 0:
+                resp = srv.handle({"op": "predict", "x": Xq.tolist()})
+                if not resp.get("ok"):
+                    bad.append(resp)
+                    continue
+                version = int(resp["model"].rsplit("@v", 1)[1])
+                want = expected.get(version)
+                if want is None or not np.allclose(
+                    resp["y"], want, rtol=1e-12, atol=0.0
+                ):
+                    bad.append(resp)
+                n_ok[0] += 1
+        except BaseException as exc:  # noqa: BLE001 - collected for assertion
+            errors.append(exc)
+
+    threads = [threading.Thread(target=publisher)]
+    threads += [threading.Thread(target=client) for _ in range(6)]
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+    finally:
+        srv.close()
+    assert not errors
+    assert not bad, f"{len(bad)} response(s) saw a torn or stale model"
+    assert n_ok[0] > 0
+    # Every client eventually converged on the final published version.
+    final = srv.handle({"op": "predict", "x": Xq.tolist()})
+    assert final["model"] == "m@v18"
+    np.testing.assert_allclose(final["y"], expected[18])
+
+
+def test_registry_publish_hooks_fire_and_unsubscribe(tmp_path, fitted):
+    reg = ModelRegistry(tmp_path)
+    seen: list = []
+    hook = lambda mv: seen.append(mv.ref)
+    reg.add_publish_hook(hook)
+    reg.publish("m", fitted)
+    reg.publish("m", fitted)
+    assert seen == ["m@v1", "m@v2"]
+    reg.remove_publish_hook(hook)
+    reg.publish("m", fitted)
+    assert seen == ["m@v1", "m@v2"]  # unsubscribed
+
+
+def test_engine_swap_model_is_atomic_under_load(bcast_data):
+    """Predictions during swap_model match exactly one of the two models."""
+    app, train, test = bcast_data
+    a = _fit(app, train, seed=0)
+    b = _fit(app, train, seed=7, rank=3)
+    Xq = test.X[:4]
+    ya, yb = a.predict(Xq), b.predict(Xq)
+    engine = PredictionEngine(a, name="m@v1")
+    bad: list = []
+    stop = threading.Event()
+
+    def reader():
+        while not stop.is_set():
+            y = engine.predict(Xq)
+            if not (np.allclose(y, ya) or np.allclose(y, yb)):
+                bad.append(y)
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for i in range(40):
+        engine.swap_model(b if i % 2 == 0 else a, name=f"m@v{2 + i}")
+    stop.set()
+    for t in threads:
+        t.join(timeout=10)
+    assert not bad
+    assert engine.name == "m@v41"
+    np.testing.assert_allclose(engine.predict(Xq), ya)  # ends on model a
 
 
 # -- publish-after-fit hooks ---------------------------------------------------

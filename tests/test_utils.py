@@ -75,6 +75,22 @@ class TestSerialization:
         np.testing.assert_array_equal(loaded["w"], obj["w"])
         assert loaded["name"] == "m"
 
+    def test_canonical_array_preserves_values(self):
+        from repro.utils.serialization import canonical_array
+
+        native = np.array([1.0, 2.5, -3.0])
+        assert canonical_array(native) is native  # already canonical: no-op
+        # A non-native byte order must be *converted*, never reinterpreted
+        # (a raw view would silently byteswap the values).
+        swapped = native.astype(native.dtype.newbyteorder())
+        out = canonical_array(swapped)
+        np.testing.assert_array_equal(out, native)
+        assert out.dtype is np.dtype("float64")
+        ints = np.array([[1, 2], [3, 4]], dtype=np.intp)[:, ::-1]
+        out = canonical_array(ints)  # non-contiguous input: compacted copy
+        np.testing.assert_array_equal(out, ints)
+        assert out.flags["C_CONTIGUOUS"]
+
 
 class TestValidation:
     def test_check_1d(self):
