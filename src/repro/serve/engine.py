@@ -141,11 +141,16 @@ class PredictionEngine:
     def stats(self) -> dict:
         """Lifetime latency/throughput counters (JSON-serializable)."""
         with self._lock:
+            model = self.model
             batches, queries = self._batches, self._queries
             total_s, max_s = self._total_s, self._max_s
             last_s, last_n = self._last_s, self._last_n
         return {
             "model": self.name,
+            # Where the model bytes live: "shm" for a fleet worker's
+            # zero-copy shared-memory attach, "local" for a plain
+            # deserialized (per-process) copy.
+            "source": getattr(model, "_served_from_", "local"),
             "batches": batches,
             "queries": queries,
             "total_seconds": total_s,

@@ -46,6 +46,11 @@ _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 _MANIFEST_RE = re.compile(r"^v(\d+)\.json$")
 
+#: Youngest directory mtime the latest-pointer cache will trust (ns).
+#: Covers the coarsest common mtime granularity (one kernel tick) with
+#: a wide margin; see :meth:`ModelRegistry._latest_version_number`.
+_MTIME_SETTLE_NS = 50_000_000
+
 
 @dataclass(frozen=True)
 class ModelVersion:
@@ -109,6 +114,18 @@ class ModelRegistry:
         self._hits = 0
         self._misses = 0
         self._publish_hooks: list = []
+        # Latest-pointer cache: name -> (dir st_mtime_ns, latest version).
+        # Every unversioned resolve used to listdir + regex the manifest
+        # directory — a full directory scan per predict on the serving
+        # hot path.  The mtime is always stat'ed *before* the scan it
+        # tags, so a publish landing mid-scan dirties the entry and the
+        # next resolve rescans (never the reverse, which could pin a
+        # stale pointer).
+        self._latest: dict[str, tuple[int, int]] = {}
+        # Claimed manifests are immutable, so resolved pointers can be
+        # memoized forever; the LRU bound only caps memory under heavy
+        # republish churn.
+        self._manifests: OrderedDict[tuple[str, int], ModelVersion] = OrderedDict()
         (self.root / "objects").mkdir(parents=True, exist_ok=True)
         (self.root / "models").mkdir(parents=True, exist_ok=True)
 
@@ -189,9 +206,17 @@ class ModelRegistry:
                     fh.write(text)
                 os.link(tmp, path)  # atomic claim of this version number
             except FileExistsError:
-                continue  # another publisher claimed it; take the next
+                # Another publisher claimed it — possibly within the same
+                # mtime tick, so drop the cached pointer before rescanning
+                # (a stale hit here would spin on the same version).
+                self._invalidate_latest(name)
+                continue
             finally:
                 os.unlink(tmp)
+            # The claim moved the directory mtime; drop the pointer rather
+            # than guessing (a concurrent publisher may already have
+            # claimed a higher version under the post-claim mtime).
+            self._invalidate_latest(name)
             mv = ModelVersion(
                 name, version, digest, record["created"], record["meta"]
             )
@@ -205,24 +230,66 @@ class ModelRegistry:
 
     def _version_numbers(self, name: str) -> list[int]:
         mdir = self._model_dir(name)
-        if not mdir.is_dir():
+        try:
+            entries = os.listdir(mdir)
+        except (FileNotFoundError, NotADirectoryError):
             return []
         out = []
-        for entry in os.listdir(mdir):
+        for entry in entries:
             m = _MANIFEST_RE.match(entry)
             if m:
                 out.append(int(m.group(1)))
         return sorted(out)
 
     def _latest_version_number(self, name: str) -> int:
+        """Highest published version of ``name`` (0 when none).
+
+        Served from the mtime-keyed latest-pointer cache: the manifest
+        directory is stat'ed on every call (cheap), but only rescanned
+        when its mtime moved — publishing creates a directory entry, so
+        any cross-process publish dirties the mtime and invalidates the
+        pointer.  Local publishes refresh the entry directly.
+        """
+        mdir = self._model_dir(name)
+        try:
+            stamp = mdir.stat().st_mtime_ns
+        except (FileNotFoundError, NotADirectoryError):
+            with self._lock:
+                self._latest.pop(name, None)
+            return 0
+        with self._lock:
+            cached = self._latest.get(name)
+            if cached is not None and cached[0] == stamp:
+                return cached[1]
+        # Stat-then-scan order matters: if a publish lands after the
+        # stat, the scan may or may not see it, but the stored stamp is
+        # pre-publish either way, so the next call invalidates.
         numbers = self._version_numbers(name)
-        return numbers[-1] if numbers else 0
+        version = numbers[-1] if numbers else 0
+        # Only memoize stamps safely in the past.  Filesystem mtime
+        # granularity can be coarser than two back-to-back publishes: a
+        # *later* publish could reuse a stamp taken within the current
+        # granularity quantum, silently pinning this pointer.  A stamp
+        # older than the settle window can never be reused, and
+        # rescanning for a few extra milliseconds after each publish is
+        # noise.
+        if time.time_ns() - stamp > _MTIME_SETTLE_NS:
+            with self._lock:
+                self._latest[name] = (stamp, version)
+        return version
+
+    def _invalidate_latest(self, name: str) -> None:
+        with self._lock:
+            self._latest.pop(name, None)
 
     def resolve(self, name: str, version: int | None = None) -> ModelVersion:
         """The :class:`ModelVersion` for ``name`` (latest when unversioned).
 
-        Always reads the manifest from disk — resolution is the freshness
-        point of the registry; only immutable blobs are ever cached.
+        Resolution is the freshness point of the registry: the latest
+        pointer is re-checked against the manifest directory's mtime on
+        every call, so a republish (from any process) is visible on the
+        next resolve.  Only immutable state is memoized — claimed
+        manifests and content-addressed blobs.
         """
         self._check_name(name)
         if version is None:
@@ -230,24 +297,45 @@ class ModelRegistry:
             if version == 0:
                 raise KeyError(f"no model published under {name!r}")
         version = int(version)
+        key = (name, version)
+        with self._lock:
+            mv = self._manifests.get(key)
+            if mv is not None:
+                self._manifests.move_to_end(key)
+                return mv
         path = self._model_dir(name) / f"v{version:04d}.json"
         try:
             record = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
             raise KeyError(f"no version {version} of model {name!r}") from exc
-        return ModelVersion(
+        mv = ModelVersion(
             record["name"],
             int(record["version"]),
             record["digest"],
             float(record.get("created", 0.0)),
             dict(record.get("meta", {})),
         )
+        with self._lock:
+            self._manifests[key] = mv
+            self._manifests.move_to_end(key)
+            while len(self._manifests) > 64:
+                self._manifests.popitem(last=False)
+        return mv
 
     def names(self) -> list[str]:
-        """Sorted names with at least one published version."""
+        """Sorted names with at least one published version.
+
+        Tolerates a missing (or concurrently deleted) ``models/``
+        subdirectory: an empty registry answers ``[]``, it does not make
+        a ``models`` protocol request crash the server.
+        """
         mroot = self.root / "models"
+        try:
+            entries = os.listdir(mroot)
+        except (FileNotFoundError, NotADirectoryError):
+            return []
         return sorted(
-            d for d in os.listdir(mroot)
+            d for d in entries
             if (mroot / d).is_dir() and self._version_numbers(d)
         )
 

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import math
 import queue
 import sys
 import threading
@@ -40,7 +39,7 @@ import numpy as np
 from repro.serve.engine import PredictionEngine
 from repro.serve.registry import ModelRegistry
 
-__all__ = ["BatcherClosed", "MicroBatcher", "ModelServer", "main"]
+__all__ = ["BatcherClosed", "MicroBatcher", "ModelServer", "Overloaded", "main"]
 
 
 class BatcherClosed(RuntimeError):
@@ -49,6 +48,34 @@ class BatcherClosed(RuntimeError):
     A distinct type so callers can tell infrastructure shutdown apart
     from a model-level ``RuntimeError`` raised inside the flush.
     """
+
+
+class Overloaded(RuntimeError):
+    """Admission control shed this request — the server is saturated.
+
+    Raised when a bounded pending queue or the server's in-flight limit
+    is full; the protocol layer turns it into the canonical
+    ``{"ok": false, "error": "overloaded"}`` response (HTTP 503) so
+    load balancers can retry elsewhere instead of piling on.
+    """
+
+
+def _jsonable_predictions(y: np.ndarray) -> list:
+    """Strict-JSON-safe list form of a prediction vector.
+
+    Non-finite predictions (e.g. exp overflow on a far extrapolation)
+    serialize as ``null``, never an ``Infinity`` token.  The all-finite
+    common case is one vectorized check plus ``.tolist()`` — the old
+    per-element ``float(v) if math.isfinite(v) else None`` loop ran on
+    every hot-path response.
+    """
+    y = np.asarray(y, dtype=float)
+    finite = np.isfinite(y)
+    if finite.all():
+        return y.tolist()
+    out = y.astype(object)
+    out[~finite] = None
+    return out.tolist()
 
 
 class _Pending:
@@ -74,13 +101,24 @@ class MicroBatcher:
     to every member of that batch (and only that batch).
     """
 
-    def __init__(self, flush_fn, max_batch: int = 256, max_delay_s: float = 0.002):
+    def __init__(
+        self,
+        flush_fn,
+        max_batch: int = 256,
+        max_delay_s: float = 0.002,
+        max_pending: int | None = None,
+    ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self._flush_fn = flush_fn
         self.max_batch = int(max_batch)
         self.max_delay_s = max(float(max_delay_s), 0.0)
+        # ``max_pending`` bounds the number of *waiting* submissions
+        # (admission control): when the worker falls behind, submit
+        # raises Overloaded instead of queueing unboundedly.
+        self.max_pending = None if max_pending is None else max(int(max_pending), 1)
         self._queue: queue.Queue = queue.Queue()
+        self._pending = 0
         self._closed = False
         # Serializes the closed-check + enqueue against close(), so no
         # item can ever land behind the shutdown sentinel (which would
@@ -92,16 +130,29 @@ class MicroBatcher:
         self._worker.start()
 
     def submit(self, x: np.ndarray) -> np.ndarray:
-        """Block until the batch containing ``x`` flushes; return its slice."""
+        """Block until the batch containing ``x`` flushes; return its slice.
+
+        Raises :class:`Overloaded` (without enqueueing) when
+        ``max_pending`` submissions are already waiting.
+        """
         item = _Pending(np.atleast_2d(np.asarray(x, dtype=float)))
         with self._submit_lock:
             if self._closed:
                 raise BatcherClosed("MicroBatcher is closed")
+            if self.max_pending is not None and self._pending >= self.max_pending:
+                raise Overloaded("overloaded")
+            self._pending += 1
             self._queue.put(item)
         item.event.wait()
         if item.error is not None:
             raise item.error
         return item.result
+
+    def _drained(self, n: int = 1) -> None:
+        """Account ``n`` submissions leaving the pending queue."""
+        if self.max_pending is not None:
+            with self._submit_lock:
+                self._pending -= n
 
     def close(self) -> None:
         """Stop the worker after draining in-flight items."""
@@ -128,6 +179,7 @@ class MicroBatcher:
             if item is None:  # close sentinel: stop collecting, flush what we have
                 self._queue.put(None)
                 break
+            self._drained()
             batch.append(item)
             rows += len(item.x)
         return batch
@@ -144,9 +196,19 @@ class MicroBatcher:
             self._flush_group(group)
 
     def _flush_group(self, batch: list) -> None:
+        total = sum(len(item.x) for item in batch)
         try:
             ys = self._flush_fn(np.concatenate([item.x for item in batch]))
             ys = np.asarray(ys, dtype=float)
+            # A flush_fn returning the wrong number of rows used to be
+            # sliced apart silently — every submitter after the first
+            # mismatch got a wrong-length (or wrong-owner) result.  Fail
+            # the whole batch loudly instead.
+            if ys.ndim != 1 or len(ys) != total:
+                raise RuntimeError(
+                    f"flush returned shape {ys.shape} for a batch of "
+                    f"{total} rows; refusing to mis-slice results"
+                )
             offset = 0
             for item in batch:
                 item.result = ys[offset : offset + len(item.x)]
@@ -163,6 +225,7 @@ class MicroBatcher:
             item = self._queue.get()
             if item is None:
                 return
+            self._drained()
             self._flush(self._collect(item))
 
 
@@ -184,6 +247,8 @@ class ModelServer:
         max_delay_ms: float = 2.0,
         microbatch: bool = False,
         engine_cache_size: int = 16,
+        max_inflight: int | None = None,
+        model_loader=None,
     ):
         self.registry = registry
         self.default_model = default_model
@@ -195,6 +260,19 @@ class ModelServer:
         # server in the republish-while-serving regime must not
         # accumulate one engine per superseded version forever.
         self.engine_cache_size = max(int(engine_cache_size), 1)
+        # Admission control: at most ``max_inflight`` predict requests
+        # may be inside the engine at once; excess requests are shed
+        # with an ``overloaded`` response instead of queueing without
+        # bound (None disables shedding — the single-process default).
+        self.max_inflight = None if max_inflight is None else max(int(max_inflight), 1)
+        self._inflight = 0
+        self._shed = 0
+        # ``model_loader(registry, mv) -> model`` overrides where model
+        # bytes come from; fleet workers pass a shared-memory attach
+        # with disk fallback so N workers don't hold N deserialized
+        # copies of the same published blob.
+        self._model_loader = model_loader
+        self._closed = False
         self._lock = threading.Lock()
         self._engines: OrderedDict = OrderedDict()  # (name, ver, digest) -> engine
         self._batchers: dict = {}            # engine ref ("name@vN") -> MicroBatcher
@@ -226,7 +304,10 @@ class ModelServer:
             if engine is not None:
                 self._engines.move_to_end(key)
                 return engine
-        model, mv = self.registry.load_resolved(mv)
+        if self._model_loader is not None:
+            model = self._model_loader(self.registry, mv)
+        else:
+            model, mv = self.registry.load_resolved(mv)
         evicted = []
         with self._lock:
             engine = self._engines.get(key)
@@ -255,14 +336,22 @@ class ModelServer:
             return engine.predict(X, validate=False)
         flush = lambda batch: engine.predict(batch, validate=False)
         key = engine.name
-        for attempt in range(3):
+        for _ in range(3):
             with self._lock:
                 batcher = self._batchers.get(key)
                 if batcher is None:
+                    # Only (re)create a batcher while its engine is still
+                    # cached and the server is open.  A racing predict
+                    # used to re-install a batcher for a just-evicted
+                    # engine — nothing would ever close it again, leaking
+                    # the batcher and its daemon worker thread.
+                    if self._closed or engine not in self._engines.values():
+                        break
                     batcher = MicroBatcher(
                         flush,
                         max_batch=self.max_batch,
                         max_delay_s=self.max_delay_s,
+                        max_pending=self.max_inflight,
                     )
                     self._batchers[key] = batcher
             try:
@@ -275,11 +364,22 @@ class ModelServer:
                 with self._lock:
                     if self._batchers.get(key) is batcher:
                         del self._batchers[key]
-                if attempt == 2:
-                    raise
+        # Evicted (or closing) mid-request: answer directly on the engine
+        # we already hold rather than batching through infrastructure
+        # that no longer owns it.
+        return engine.predict(X, validate=False)
 
     def close(self) -> None:
+        """Stop all batchers; idempotent, and final.
+
+        Setting ``_closed`` under the lock before draining means a
+        predict racing close can no longer install a fresh batcher
+        after the drain — the leak path the old implementation left
+        open (close-then-install made both the batcher and its worker
+        thread unreachable).
+        """
         with self._lock:
+            self._closed = True
             batchers, self._batchers = list(self._batchers.values()), {}
         for b in batchers:
             b.close()
@@ -299,16 +399,29 @@ class ModelServer:
             if op == "stats":
                 with self._lock:
                     engines = list(self._engines.values())
+                    shed, inflight = self._shed, self._inflight
                 return {
                     "ok": True,
                     "engines": [e.stats() for e in engines],
                     "registry": self.registry.cache_info(),
+                    "admission": {
+                        "max_inflight": self.max_inflight,
+                        "inflight": inflight,
+                        "shed": shed,
+                    },
                 }
             if op == "predict":
                 return self._handle_predict(request)
             raise ValueError(f"unknown op {op!r}")
+        except Overloaded:
+            # Admission control shed the request.  ``code`` lets the
+            # HTTP transport answer 503 so a fleet load balancer retries
+            # another worker instead of treating it as a client error.
+            return {"ok": False, "error": "overloaded", "code": 503}
         except KeyError as exc:
-            return {"ok": False, "error": f"not found: {exc.args[0]}"}
+            # Unknown model/version: 404, not 400 — a load balancer must
+            # be able to tell a miss from a malformed request.
+            return {"ok": False, "error": f"not found: {exc.args[0]}", "code": 404}
         except (ValueError, TypeError, RuntimeError) as exc:
             # RuntimeError covers model-level refusals (e.g. an unfitted
             # model published to the registry).
@@ -331,20 +444,38 @@ class ModelServer:
             X = np.asarray(request["x"], dtype=float)
         except (ValueError, TypeError):
             raise ValueError("'x' must be a numeric array of query rows") from None
-        engine = self.engine_for(ref, request.get("version"))
-        X = engine.validate(X)
-        t0 = time.perf_counter()
-        y = self._predict(engine, X)
-        latency_ms = 1e3 * (time.perf_counter() - t0)
+        self._admit()
+        try:
+            engine = self.engine_for(ref, request.get("version"))
+            X = engine.validate(X)
+            t0 = time.perf_counter()
+            y = self._predict(engine, X)
+            latency_ms = 1e3 * (time.perf_counter() - t0)
+        finally:
+            self._release()
         return {
             "ok": True,
             "model": engine.name,
             "n": int(len(y)),
-            # Strict-JSON safe: a non-finite prediction (e.g. exp overflow
-            # on a far extrapolation) serializes as null, never Infinity.
-            "y": [float(v) if math.isfinite(v) else None for v in y],
+            "y": _jsonable_predictions(y),
             "latency_ms": latency_ms,
         }
+
+    def _admit(self) -> None:
+        """Count a predict in; shed (raise Overloaded) past the limit."""
+        if self.max_inflight is None:
+            return
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self._shed += 1
+                raise Overloaded("overloaded")
+            self._inflight += 1
+
+    def _release(self) -> None:
+        if self.max_inflight is None:
+            return
+        with self._lock:
+            self._inflight -= 1
 
     def _schema_for(self, mv) -> dict | None:
         """Memoized ``describe()`` record per digest.
@@ -417,7 +548,10 @@ def _http_handler(server: ModelServer):
                 self._reply({"ok": False, "error": "bad JSON request body"}, 400)
                 return
             response = server.handle(request)
-            self._reply(response, 200 if response.get("ok") else 400)
+            # Failures carry an optional ``code`` (404 unknown model,
+            # 503 overloaded); anything else malformed is a plain 400.
+            status = 200 if response.get("ok") else int(response.get("code", 400))
+            self._reply(response, status)
 
         def log_message(self, fmt, *args):  # keep stdout for the protocol
             print(f"[serve] {fmt % args}", file=sys.stderr)
@@ -469,7 +603,44 @@ def main(argv=None) -> int:
                         help="microbatch window before a partial flush")
     parser.add_argument("--cache-size", type=int, default=8,
                         help="registry LRU capacity (deserialized models)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes sharing the port (HTTP only; "
+                             ">1 starts a repro.serve.fleet)")
+    parser.add_argument("--max-inflight", type=int, default=128,
+                        help="per-process admission bound before requests "
+                             "are shed with 503 overloaded")
     args = parser.parse_args(argv)
+
+    if args.workers > 1:
+        if args.http is None:
+            parser.error("--workers requires --http (the fleet shares a port)")
+        from repro.serve.fleet import ServeFleet  # circular at module scope
+
+        fleet = ServeFleet(
+            args.registry,
+            workers=args.workers,
+            port=args.http,
+            host=args.host,
+            default_model=args.model,
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            max_inflight=args.max_inflight,
+        )
+        fleet.start()
+        print(
+            f"[serve] registry={fleet.registry.root} fleet of "
+            f"{fleet.workers} workers ({fleet.socket_mode}) listening on "
+            f"http://{fleet.host}:{fleet.port}",
+            file=sys.stderr,
+        )
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            fleet.stop()
+        return 0
 
     registry = ModelRegistry(args.registry, cache_size=args.cache_size)
     server = ModelServer(
@@ -478,6 +649,7 @@ def main(argv=None) -> int:
         max_batch=args.max_batch,
         max_delay_ms=args.max_delay_ms,
         microbatch=args.http is not None,
+        max_inflight=args.max_inflight,
     )
     if args.stdin:
         return serve_stdin(server)

@@ -1,0 +1,341 @@
+"""Shared-memory model store: one blob in RAM, every worker maps it.
+
+The fleet's workers all serve the same published model, and a
+deserialized :class:`~repro.core.CPRModel` is dominated by its factor
+matrices (plus the discretization grid and, for streaming payloads, the
+observed tensor).  Loading the registry blob once per worker would scale
+resident memory with the worker count; this module instead *packs* a
+model into one ``multiprocessing.shared_memory`` segment that every
+worker attaches read-only and reconstructs **zero-copy**:
+
+* The packer pickles the model's persistence payload
+  (:func:`~repro.utils.serialization.model_payload`) with **pickle
+  protocol 5 out-of-band buffers**: numpy extracts every contiguous
+  array as a raw buffer, leaving a small in-band stream of structure.
+* The segment holds a tiny JSON directory, the in-band pickle, and the
+  raw buffers (64-byte aligned).
+* An attacher re-runs ``pickle.loads`` with ``buffers=`` pointing at
+  read-only memoryviews *into the mapped segment* — numpy rebuilds each
+  array as a view over shared memory, so the factor matrices are never
+  copied into the worker.
+
+Naming and lifecycle ("unlink discipline", see DESIGN.md):
+
+* Serialization is a byte-level fixed point, so the registry digest
+  identifies the blob; the segment name is derived from it
+  (:func:`segment_name`) and doubles as the cross-process rendezvous —
+  no extra coordination channel is needed.
+* Exactly one process (the fleet parent) **creates** segments and is
+  the only one that ever calls ``unlink`` — once per segment, at
+  supersede-eviction or shutdown.  Attachers never unlink and never
+  unregister, so the stdlib resource tracker stays consistent: the
+  creator's single unlink removes the tracker entry, and if the parent
+  dies without cleanup the tracker reclaims the segments at shutdown.
+* POSIX keeps an unlinked segment mapped until the last attacher drops
+  it, so eviction never tears memory out from under an in-flight
+  predict.
+"""
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+
+import numpy as np
+
+from repro.utils.serialization import model_payload, payload_to_model
+
+try:  # gated: some minimal platforms build Python without _posixshmem
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exercised only on exotic builds
+    _shared_memory = None
+
+__all__ = [
+    "shared_memory_available",
+    "segment_name",
+    "pack_model",
+    "attach_model",
+    "ShmLease",
+    "ShmModelStore",
+    "shared_fraction",
+]
+
+_MAGIC = b"RPROSHM1"
+_ALIGN = 64
+
+
+def shared_memory_available() -> bool:
+    """Whether this platform supports ``multiprocessing.shared_memory``."""
+    return _shared_memory is not None
+
+
+def segment_name(digest: str) -> str:
+    """Shared-memory segment name for a registry blob digest.
+
+    Truncated to stay under the strictest common POSIX limit (31 chars
+    including the leading slash on macOS); 96 digest bits keep the
+    collision probability irrelevant at fleet scale.
+    """
+    return f"repro-{digest[:24]}"
+
+
+def _require_shm():
+    if _shared_memory is None:
+        raise RuntimeError(
+            "multiprocessing.shared_memory is unavailable on this platform"
+        )
+    return _shared_memory
+
+
+def _pad(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class ShmLease:
+    """Keeps one attached segment mapped while its model is alive.
+
+    The reconstructed model's arrays are views into the mapping, so the
+    mapping itself cannot disappear while they exist; the lease's job is
+    to release the file descriptor and mapping promptly once the model
+    is garbage-collected (a long-lived worker crossing many republishes
+    must not accumulate one fd per superseded version).
+    """
+
+    def __init__(self, shm):
+        self._shm = shm
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def size(self) -> int:
+        return self._shm.size
+
+    def release(self) -> None:
+        """Drop the mapping if no array still references it."""
+        shm = self._shm
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # arrays still alive: keep the handle, retry later
+            return
+        self._shm = None
+
+    def __del__(self):  # best effort; exceptions in __del__ are swallowed
+        try:
+            self.release()
+        except Exception:
+            pass
+
+
+def pack_model(model, digest: str, *, fit_state: bool = False):
+    """Create (or reuse) the shared segment for ``model`` under ``digest``.
+
+    Returns the :class:`multiprocessing.shared_memory.SharedMemory`
+    handle — the caller owns it and is responsible for the single
+    ``unlink``.  ``fit_state=False`` by default: serving workers only
+    predict, so the observed-tensor warm-start state would be dead
+    weight in the segment.
+
+    If the segment already exists (a previous fleet crashed without
+    cleanup, or two packers raced), it is validated by magic + length
+    and reused when sound, recreated when corrupt.
+    """
+    shm_mod = _require_shm()
+    buffers: list = []
+    payload = model_payload(model, fit_state=fit_state)
+    inband = pickle.dumps(
+        payload, protocol=5, buffer_callback=lambda b: buffers.append(b.raw())
+    )
+    directory = {
+        "inband": [0, len(inband)],
+        "buffers": [[0, b.nbytes] for b in buffers],
+    }
+    # Two passes: sizing the directory changes its own length, so lay
+    # out with placeholder offsets first, then fill the real ones in a
+    # fixed-width header region.
+    header = json.dumps(directory).encode("ascii")
+    header_len = _pad(len(header) + 256)  # slack for the real offsets
+    offset = _pad(len(_MAGIC) + 8 + header_len)
+    directory["inband"][0] = offset
+    offset += _pad(len(inband))
+    for entry in directory["buffers"]:
+        entry[0] = offset
+        offset += _pad(entry[1])
+    total = max(offset, 1)
+
+    header = json.dumps(directory).encode("ascii")
+    if len(header) > header_len:  # pragma: no cover - 256B slack suffices
+        raise RuntimeError("shm directory overflowed its header region")
+
+    name = segment_name(digest)
+    try:
+        shm = shm_mod.SharedMemory(name=name, create=True, size=total)
+    except FileExistsError:
+        shm = shm_mod.SharedMemory(name=name)
+        if bytes(shm.buf[: len(_MAGIC)]) == _MAGIC and shm.size >= total:
+            return shm  # sound leftover from a previous packer: reuse
+        # Corrupt or truncated: replace it (we are the packing side, so
+        # unlink-and-recreate is within the creator's discipline).
+        shm.close()
+        try:
+            shm_mod.SharedMemory(name=name).unlink()
+        except FileNotFoundError:
+            pass
+        shm = shm_mod.SharedMemory(name=name, create=True, size=total)
+
+    buf = shm.buf
+    buf[: len(_MAGIC)] = _MAGIC
+    buf[len(_MAGIC) : len(_MAGIC) + 8] = len(header).to_bytes(8, "little")
+    hstart = len(_MAGIC) + 8
+    buf[hstart : hstart + len(header)] = header
+    o, n = directory["inband"]
+    buf[o : o + n] = inband
+    for (o, n), b in zip(directory["buffers"], buffers):
+        buf[o : o + n] = b
+    return shm
+
+
+def attach_model(digest: str):
+    """Map the segment for ``digest`` and rebuild its model zero-copy.
+
+    Returns ``(model, lease)``.  Raises ``FileNotFoundError`` when no
+    such segment exists (callers fall back to a disk load) and
+    ``ValueError`` when the segment exists but is not a packed model.
+    The model's contiguous arrays are **read-only views into shared
+    memory** — byte-for-byte the packer's arrays, with no per-process
+    copy.
+    """
+    shm_mod = _require_shm()
+    shm = shm_mod.SharedMemory(name=segment_name(digest))
+    try:
+        view = shm.buf.toreadonly()
+        if bytes(view[: len(_MAGIC)]) != _MAGIC:
+            raise ValueError(f"segment {segment_name(digest)!r} is not a model")
+        hstart = len(_MAGIC) + 8
+        hlen = int.from_bytes(view[len(_MAGIC) : hstart], "little")
+        directory = json.loads(bytes(view[hstart : hstart + hlen]))
+        o, n = directory["inband"]
+        payload = pickle.loads(
+            view[o : o + n],
+            buffers=[view[o : o + n] for o, n in directory["buffers"]],
+        )
+        model = payload_to_model(payload)
+        return model, ShmLease(shm)
+    except BaseException:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - partial reconstruction
+            pass
+        raise
+
+
+class ShmModelStore:
+    """Creator-side bookkeeping: pack blobs, enforce the unlink discipline.
+
+    One instance lives in the fleet parent.  ``ensure(digest, model)``
+    is idempotent; ``evict``/``close`` unlink each created segment
+    exactly once (double unlinks would desynchronize the stdlib
+    resource tracker, single ones keep it exact).  An LRU bound caps
+    resident segments under republish churn — superseded segments are
+    unlinked immediately, which is safe because attached workers keep
+    their mappings until they drop them.
+    """
+
+    def __init__(self, max_segments: int = 8):
+        self.max_segments = max(int(max_segments), 1)
+        self._lock = threading.Lock()
+        self._segments: dict = {}  # digest -> SharedMemory (insertion = LRU)
+
+    def ensure(self, digest: str, model) -> bool:
+        """Pack ``model`` under ``digest`` unless already resident."""
+        with self._lock:
+            if digest in self._segments:
+                # Move to MRU position so hot models survive the bound.
+                self._segments[digest] = self._segments.pop(digest)
+                return False
+        shm = pack_model(model, digest)
+        stale = []
+        with self._lock:
+            if digest in self._segments:  # raced with another ensure
+                stale.append((digest, shm, False))
+            else:
+                self._segments[digest] = shm
+                while len(self._segments) > self.max_segments:
+                    old_digest = next(iter(self._segments))
+                    stale.append(
+                        (old_digest, self._segments.pop(old_digest), True)
+                    )
+        for _, old_shm, unlink in stale:
+            self._release(old_shm, unlink=unlink)
+        return True
+
+    def digests(self) -> list:
+        with self._lock:
+            return list(self._segments)
+
+    def evict(self, digest: str) -> None:
+        with self._lock:
+            shm = self._segments.pop(digest, None)
+        if shm is not None:
+            self._release(shm, unlink=True)
+
+    def close(self) -> None:
+        with self._lock:
+            segments, self._segments = list(self._segments.values()), {}
+        for shm in segments:
+            self._release(shm, unlink=True)
+
+    @staticmethod
+    def _release(shm, unlink: bool) -> None:
+        try:
+            if unlink:
+                shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - external cleanup won
+            pass
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a local view is still live
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def shared_fraction(model) -> float:
+    """Fraction of the model's array bytes that live in shared memory.
+
+    Diagnostic used by tests and the fleet smoke job: close to 1.0 for a
+    shm-attached CPR/Tucker model (everything big is a view into the
+    segment), 0.0 for a disk-loaded one.
+    """
+    shared = total = 0
+    seen = set()
+
+    def walk(obj):
+        nonlocal shared, total
+        if id(obj) in seen:
+            return
+        seen.add(id(obj))
+        if isinstance(obj, np.ndarray):
+            total += obj.nbytes
+            if not (obj.flags.writeable or obj.base is None):
+                shared += obj.nbytes
+            return
+        if isinstance(obj, dict):
+            for v in obj.values():
+                walk(v)
+        elif isinstance(obj, (list, tuple, set)):
+            for v in obj:
+                walk(v)
+        elif hasattr(obj, "__dict__"):
+            for v in vars(obj).values():
+                walk(v)
+
+    walk(model_payload(model, fit_state=False))
+    return shared / total if total else 0.0

@@ -78,11 +78,34 @@ def main(argv=None) -> int:
     parser.add_argument("--drift-window", type=int, default=64)
     parser.add_argument("--drift-threshold", type=float, default=0.25)
     parser.add_argument("--drift-min-count", type=int, default=24)
+    parser.add_argument("--serve-workers", type=int, default=0,
+                        help="score through an HTTP worker fleet of this "
+                             "size instead of an in-process server (0 = "
+                             "in-process); drift republishes hot-swap the "
+                             "workers mid-stream")
+    parser.add_argument("--serve-port", type=int, default=0,
+                        help="fleet port with --serve-workers (0 = ephemeral)")
     args = parser.parse_args(argv)
 
     app = get_application(args.app)
     name = args.name or f"{args.app}-stream"
     registry = ModelRegistry(args.registry)
+    fleet = None
+    if args.serve_workers > 0:
+        from repro.serve import ServeFleet
+
+        fleet = ServeFleet(
+            args.registry, workers=args.serve_workers, port=args.serve_port,
+            default_model=name,
+        ).start()
+        # Our republishes reach the workers via the pack hook, not the
+        # (slower) manifest watch: the next scored batch after a drift
+        # refit already sees the new version.
+        fleet.track_registry(registry)
+        print(
+            f"[stream] serving through a {fleet.workers}-worker fleet "
+            f"({fleet.socket_mode}) on http://{fleet.host}:{fleet.port}"
+        )
     server = ModelServer(registry, default_model=name)
     factory = make_model_factory(
         app.space, cells=args.cells, rank=args.rank, loss=args.loss,
@@ -118,8 +141,21 @@ def main(argv=None) -> int:
             monitor=monitor, trainer=trainer, meta=meta,
         )
 
+    def _fleet_handle(request: dict) -> dict:
+        import http.client
+        import json
+
+        conn = http.client.HTTPConnection(fleet.host, fleet.port, timeout=60)
+        try:
+            conn.request("POST", "/", json.dumps(request))
+            return json.loads(conn.getresponse().read())
+        finally:
+            conn.close()
+
+    handle = server.handle if fleet is None else _fleet_handle
+
     def server_predict(X):
-        resp = server.handle({"op": "predict", "model": name, "x": X.tolist()})
+        resp = handle({"op": "predict", "model": name, "x": X.tolist()})
         if not resp.get("ok"):
             raise RuntimeError(f"server predict failed: {resp.get('error')}")
         return np.array(
@@ -134,10 +170,14 @@ def main(argv=None) -> int:
         if args.rate > 0:
             time.sleep(args.batch / args.rate)
 
-    summary = replay_application(
-        app, session, args.n, batch=args.batch, seed=args.seed,
-        predict_fn=server_predict, on_batch=on_batch,
-    )
+    try:
+        summary = replay_application(
+            app, session, args.n, batch=args.batch, seed=args.seed,
+            predict_fn=server_predict, on_batch=on_batch,
+        )
+    finally:
+        if fleet is not None:
+            fleet.stop()
     session.buffer.close()
     trainer_rec = summary["trainer"]
     rolling = summary["drift"]["error"]

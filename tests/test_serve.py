@@ -650,6 +650,250 @@ def test_engine_swap_model_is_atomic_under_load(bcast_data):
     np.testing.assert_allclose(engine.predict(Xq), ya)  # ends on model a
 
 
+# -- serve-path bugfix sweep (fleet PR) ----------------------------------------
+
+
+class _SlowModel:
+    """Picklable stub that holds a predict slot long enough to overlap."""
+
+    def predict(self, X):
+        time.sleep(0.3)
+        return np.zeros(len(np.atleast_2d(X)))
+
+
+class _MixedModel:
+    """Picklable stub returning finite and non-finite predictions."""
+
+    def predict(self, X):
+        y = np.arange(float(len(np.atleast_2d(X))))
+        y[1::3] = np.inf
+        y[2::3] = np.nan
+        return y
+
+
+def test_predict_after_close_never_reinstalls_batcher(tmp_path, bcast_data, fitted):
+    """The close/predict race must not leak a fresh batcher + thread.
+
+    Before the fix, a predict thread that looked up a missing batcher
+    and then lost the race with ``close()`` installed a brand-new
+    batcher into a drained map — unreachable by any future close, its
+    worker thread alive for the life of the process.
+    """
+    _, _, test = bcast_data
+    reg = ModelRegistry(tmp_path)
+    reg.publish("m", fitted)
+    srv = ModelServer(reg, default_model="m", microbatch=True)
+    engine = srv.engine_for("m")  # cached before close, as in the race
+    srv.close()
+    before = sum(
+        t.name == "repro-serve-microbatch" for t in threading.enumerate()
+    )
+    resp = srv.handle({"op": "predict", "x": test.X[:2].tolist()})
+    assert resp["ok"]  # still answers (directly on the engine)
+    np.testing.assert_allclose(resp["y"], engine.predict(test.X[:2]))
+    after = sum(
+        t.name == "repro-serve-microbatch" for t in threading.enumerate()
+    )
+    assert srv._batchers == {}
+    assert after == before
+
+
+def test_eviction_churn_does_not_accumulate_batcher_threads(tmp_path, bcast_data):
+    """Engine-cache churn under microbatching closes every evicted batcher."""
+    app, train, test = bcast_data
+    reg = ModelRegistry(tmp_path)
+    model = _fit(app, train)
+    for i in range(3):
+        reg.publish(f"m{i}", model)
+    srv = ModelServer(reg, microbatch=True, engine_cache_size=1, max_delay_ms=0.0)
+    try:
+        before = sum(
+            t.name == "repro-serve-microbatch" for t in threading.enumerate()
+        )
+        for round_ in range(4):
+            for i in range(3):  # every predict evicts the previous engine
+                resp = srv.handle(
+                    {"op": "predict", "model": f"m{i}", "x": test.X[:1].tolist()}
+                )
+                assert resp["ok"]
+        # At most the one live batcher on top of the baseline — evicted
+        # ones were closed, and their worker threads have exited.
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            alive = sum(
+                t.name == "repro-serve-microbatch" for t in threading.enumerate()
+            )
+            if alive - before <= 1:
+                break
+            time.sleep(0.01)
+        assert alive - before <= 1
+        assert len(srv._batchers) <= 1
+    finally:
+        srv.close()
+
+
+def test_microbatcher_rejects_wrong_length_flush():
+    """A flush_fn returning the wrong row count fails loudly, not silently.
+
+    The old slicing handed the first submitter a wrong-length vector and
+    downstream submitters their neighbours' predictions.
+    """
+    mb = MicroBatcher(lambda X: np.zeros(len(X) + 1), max_batch=8, max_delay_s=0.0)
+    try:
+        with pytest.raises(RuntimeError, match="refusing to mis-slice"):
+            mb.submit([[1.0], [2.0]])
+    finally:
+        mb.close()
+    mb = MicroBatcher(lambda X: np.zeros((len(X), 1)), max_batch=8, max_delay_s=0.0)
+    try:
+        with pytest.raises(RuntimeError, match="refusing to mis-slice"):
+            mb.submit([[1.0]])
+    finally:
+        mb.close()
+
+
+def test_server_sheds_past_max_inflight(tmp_path):
+    """Admission control: excess concurrent predicts get 503 overloaded."""
+    reg = ModelRegistry(tmp_path)
+    reg.publish("slow", _SlowModel())
+    srv = ModelServer(reg, default_model="slow", max_inflight=1)
+    first = {}
+
+    def occupant():
+        first.update(srv.handle({"op": "predict", "x": [[1.0]]}))
+
+    t = threading.Thread(target=occupant)
+    t.start()
+    time.sleep(0.1)  # let the occupant take the only slot
+    shed = srv.handle({"op": "predict", "x": [[1.0]]})
+    t.join()
+    assert first["ok"]
+    assert shed == {"ok": False, "error": "overloaded", "code": 503}
+    stats = srv.handle({"op": "stats"})
+    assert stats["admission"]["max_inflight"] == 1
+    assert stats["admission"]["shed"] == 1
+    assert stats["admission"]["inflight"] == 0  # slots released either way
+
+
+def test_microbatcher_sheds_past_max_pending():
+    from repro.serve import Overloaded
+
+    flushing = threading.Event()
+    release = threading.Event()
+
+    def gated(X):
+        flushing.set()
+        release.wait(timeout=10)
+        return X[:, 0]
+
+    mb = MicroBatcher(gated, max_batch=1, max_delay_s=0.0, max_pending=1)
+    results: dict = {}
+    try:
+        # A is dequeued by the worker and blocks inside the flush.
+        ta = threading.Thread(target=lambda: results.update(a=mb.submit([[1.0]])))
+        ta.start()
+        assert flushing.wait(timeout=10)
+        # B fills the single pending slot behind the busy worker.
+        tb = threading.Thread(target=lambda: results.update(b=mb.submit([[2.0]])))
+        tb.start()
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            with mb._submit_lock:
+                if mb._pending >= 1:
+                    break
+            time.sleep(0.005)
+        # C must shed immediately instead of queueing without bound.
+        with pytest.raises(Overloaded):
+            mb.submit([[3.0]])
+        release.set()
+        ta.join(timeout=10)
+        tb.join(timeout=10)
+        # Admitted work still completed with the right slices.
+        np.testing.assert_allclose(results["a"], [1.0])
+        np.testing.assert_allclose(results["b"], [2.0])
+        # ... and the shed did not consume a pending slot.
+        with mb._submit_lock:
+            assert mb._pending == 0
+    finally:
+        release.set()
+        mb.close()
+
+
+def test_server_mixed_finite_nonfinite_predictions(tmp_path):
+    reg = ModelRegistry(tmp_path)
+    reg.publish("mixed", _MixedModel())
+    srv = ModelServer(reg)
+    resp = srv.handle({"op": "predict", "model": "mixed", "x": [[float(i)] for i in range(6)]})
+    assert resp["ok"]
+    assert resp["y"] == [0.0, None, None, 3.0, None, None]
+    json.loads(json.dumps(resp))  # strict-JSON clean
+
+
+def test_server_error_codes_distinguish_missing_from_malformed(server):
+    srv, _ = server
+    missing = srv.handle({"op": "predict", "model": "absent", "x": [[1, 1, 65536]]})
+    assert not missing["ok"] and missing["code"] == 404
+    missing_version = srv.handle(
+        {"op": "predict", "model": "bcast", "version": 99, "x": [[1, 1, 65536]]}
+    )
+    assert not missing_version["ok"] and missing_version["code"] == 404
+    malformed = srv.handle({"op": "predict", "x": [[1, 1]]})
+    assert not malformed["ok"] and "code" not in malformed  # plain 400
+
+
+def test_registry_names_tolerates_missing_models_dir(tmp_path, fitted):
+    import shutil
+
+    reg = ModelRegistry(tmp_path)
+    reg.publish("m", fitted)
+    assert reg.names() == ["m"]
+    shutil.rmtree(tmp_path / "models")
+    assert reg.names() == []
+    assert reg.versions("m") == []
+    assert "m" not in reg
+
+
+def test_registry_latest_cache_sees_external_publish(tmp_path, fitted):
+    """The mtime-keyed latest pointer must never pin a stale version.
+
+    ``b`` resolves (and may cache) between two publishes that go through
+    a *different* registry object — exactly what ``b``'s local-publish
+    invalidation cannot see.  Both the granularity guard and the mtime
+    comparison are exercised: a publish landing within the stamp's
+    settle window defeats caching, a later one dirties the mtime.
+    """
+    a = ModelRegistry(tmp_path)
+    b = ModelRegistry(tmp_path)
+    a.publish("m", fitted)
+    assert b.resolve("m").version == 1
+    a.publish("m", fitted)
+    assert b.resolve("m").version == 2
+    time.sleep(0.06)  # past the settle window: the next resolve caches
+    assert b.resolve("m").version == 2
+    a.publish("m", fitted)
+    assert b.resolve("m").version == 3
+    # Memoized manifests stay correct for explicit versions.
+    assert b.resolve("m", 1).version == 1
+    assert b.resolve("m", 1).digest == a.resolve("m", 1).digest
+
+
+def test_registry_resolve_hot_path_is_one_stat(tmp_path, fitted):
+    """After the settle window, repeated resolves stop rescanning."""
+    reg = ModelRegistry(tmp_path)
+    reg.publish("m", fitted)
+    time.sleep(0.06)
+    reg.resolve("m")  # caches the latest pointer
+    calls = []
+    original = reg._version_numbers
+    reg._version_numbers = lambda name: (calls.append(name), original(name))[1]
+    try:
+        for _ in range(5):
+            assert reg.resolve("m").version == 1
+        assert calls == []  # pointer cache hit: no directory scans
+    finally:
+        reg._version_numbers = original
+
+
 # -- publish-after-fit hooks ---------------------------------------------------
 
 
