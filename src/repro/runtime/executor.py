@@ -27,6 +27,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 
 import numpy as np
 
+from repro.faults import fault_point, retry_call
 from repro.runtime.cache import ResultCache
 from repro.runtime.spec import JobSpec, resolve_runner, to_jsonable
 
@@ -34,17 +35,37 @@ __all__ = ["Runtime", "execute"]
 
 
 def _run_one(item):
-    """Execute one ``(fn, params, key)`` triple (top-level: picklable).
+    """Execute one ``(fn, params, key, retries, retry_delay_s)`` tuple.
 
-    Returns ``(record, elapsed_seconds)`` — the job's own wall time, so
-    cached timings identify slow jobs rather than batch averages.
+    Top-level so it is picklable for the pool path.  Returns
+    ``(record, elapsed_seconds)`` — the job's own wall time (last
+    attempt only), so cached timings identify slow jobs rather than
+    batch averages.
+
+    Transient failures (``OSError`` and subclasses — the I/O class of
+    failure) are retried up to ``retries`` times with backoff; each
+    attempt re-seeds the legacy global RNG from the spec hash first, so
+    a retry replays *exactly* the run that failed (the determinism
+    contract survives retries).  Deterministic failures (``TypeError``,
+    ``ValueError``, a runner bug) propagate immediately — re-running a
+    bug is a waste, and quarantine (below) is the policy for those.
     """
-    fn_path, params, key = item
-    np.random.seed(int(key[:8], 16) % 2**32)
-    t0 = time.perf_counter()
-    result = resolve_runner(fn_path)(**params)
-    record = json.loads(json.dumps(to_jsonable(result)))
-    return record, time.perf_counter() - t0
+    fn_path, params, key, retries, retry_delay_s = item
+
+    def attempt():
+        np.random.seed(int(key[:8], 16) % 2**32)
+        fault_point("runtime.job")
+        t0 = time.perf_counter()
+        result = resolve_runner(fn_path)(**params)
+        record = json.loads(json.dumps(to_jsonable(result)))
+        return record, time.perf_counter() - t0
+
+    return retry_call(
+        attempt,
+        attempts=max(int(retries), 0) + 1,
+        base_delay_s=retry_delay_s,
+        retry_on=(OSError,),
+    )
 
 
 class Runtime:
@@ -67,16 +88,41 @@ class Runtime:
         that pushes freshly fitted models into a
         :class:`repro.serve.ModelRegistry` as sweeps complete (see
         ``run_tune_job``'s ``publish_dir`` for the job-level variant).
+    retries, retry_delay_s
+        Transient-failure policy: each job gets ``retries`` extra
+        attempts (backoff from ``retry_delay_s``, full jitter) when it
+        fails with an ``OSError`` — the flaky-filesystem / crashed-
+        worker class of failure.  Deterministic exceptions are never
+        retried.
+    quarantine
+        ``False`` (default): a job that exhausts retries fails the
+        sweep, exactly the historical behaviour.  ``True``: the failure
+        is recorded in :attr:`quarantined` as ``(spec, exception)``, the
+        job's slot in the results list stays ``None``, and the rest of
+        the sweep completes — one poison job no longer discards an
+        afternoon of finished (and cached) work.
 
     ``hits``/``executed`` count cache hits and actually-run jobs across
     the runtime's lifetime; :meth:`snapshot` lets callers report per-sweep
     deltas.
     """
 
-    def __init__(self, jobs: int = 1, cache_dir=None, on_result=None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir=None,
+        on_result=None,
+        retries: int = 2,
+        retry_delay_s: float = 0.05,
+        quarantine: bool = False,
+    ):
         self.jobs = max(int(jobs), 1)
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.on_result = on_result
+        self.retries = max(int(retries), 0)
+        self.retry_delay_s = max(float(retry_delay_s), 0.0)
+        self.quarantine = bool(quarantine)
+        self.quarantined: list = []
         self.hits = 0
         self.executed = 0
 
@@ -117,14 +163,24 @@ class Runtime:
         if not pending:
             return results
 
-        items = [(specs[i].fn, specs[i].params, specs[i].key) for i in pending]
+        items = [
+            (specs[i].fn, specs[i].params, specs[i].key,
+             self.retries, self.retry_delay_s)
+            for i in pending
+        ]
         if self.jobs == 1 or len(pending) == 1:
             # In-process path: the per-job reseeding must not leak into the
             # caller's global RNG stream (historical sequential behaviour).
             saved_rng = np.random.get_state()
             try:
                 for i, item in zip(pending, items):
-                    record, elapsed = _run_one(item)
+                    try:
+                        record, elapsed = _run_one(item)
+                    except Exception as exc:
+                        if not self.quarantine:
+                            raise
+                        self.quarantined.append((specs[i], exc))
+                        continue
                     results[i] = record
                     self._record(specs[i], record, elapsed)
             finally:
@@ -143,8 +199,11 @@ class Runtime:
                         record, elapsed = fut.result()
                     except BaseException as exc:
                         # Keep consuming so finished jobs still get cached;
-                        # surface the first failure afterwards.
-                        if failure is None:
+                        # then either quarantine the failures or surface
+                        # the first one (historical behaviour).
+                        if self.quarantine and isinstance(exc, Exception):
+                            self.quarantined.append((specs[i], exc))
+                        elif failure is None:
                             failure = exc
                         continue
                     results[i] = record

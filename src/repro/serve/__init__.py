@@ -38,7 +38,12 @@ request schema and the shm blob lifecycle.
 from repro.serve.engine import PredictionEngine
 from repro.serve.fleet import ServeFleet
 from repro.serve.registry import ModelRegistry, ModelVersion
-from repro.serve.server import MicroBatcher, ModelServer, Overloaded
+from repro.serve.server import (
+    MicroBatcher,
+    ModelServer,
+    Overloaded,
+    PredictTimeout,
+)
 
 __all__ = [
     "MicroBatcher",
@@ -46,6 +51,7 @@ __all__ = [
     "ModelServer",
     "ModelVersion",
     "Overloaded",
+    "PredictTimeout",
     "PredictionEngine",
     "ServeFleet",
 ]

@@ -20,6 +20,8 @@ import time
 
 import numpy as np
 
+from repro.faults import fault_point
+
 __all__ = ["PredictionEngine"]
 
 
@@ -106,6 +108,7 @@ class PredictionEngine:
         re-scanning the concatenated flush batch would be pure overhead
         on the hot path.
         """
+        fault_point("engine.predict")
         with self._lock:  # pair model + kwargs consistently under swap_model
             model, kw = self.model, self._predict_kwargs
         if validate:

@@ -38,20 +38,28 @@ Admission control
     ``{"ok": false, "error": "overloaded"}`` (HTTP 503) instead of
     queueing without bound.
 
-The parent also supervises: a monitor thread respawns crashed workers,
-and ``stop()`` tears down workers first, then unlinks every shm segment
-exactly once (the "unlink discipline" — see DESIGN.md, "Fleet serving").
+The parent also supervises (see DESIGN.md, "Failure model & recovery"):
+a monitor thread respawns crashed workers (with backoff, behind a
+crash-loop breaker), a heartbeat watchdog kills and replaces *hung*
+workers (SIGSTOP'd, deadlocked, paged out — anything that stops the
+heartbeat thread), and ``stop()`` escalates terminate → kill on workers
+that ignore SIGTERM before unlinking every shm segment exactly once
+(the "unlink discipline" — see DESIGN.md, "Fleet serving").
 """
 from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
+import signal
 import socket
 import sys
+import tempfile
 import threading
 import time
 from http.server import ThreadingHTTPServer
 
+from repro import faults
 from repro.serve import shm_store
 from repro.serve.registry import ModelRegistry
 from repro.serve.server import ModelServer, _http_handler
@@ -60,8 +68,29 @@ __all__ = [
     "ServeFleet",
     "FleetWorkerServer",
     "make_worker_server",
+    "exit_on_sigterm",
     "reuseport_available",
 ]
+
+
+def exit_on_sigterm() -> None:
+    """Convert SIGTERM into :class:`SystemExit` so ``finally`` blocks run.
+
+    The default SIGTERM action kills the process without unwinding the
+    stack, so a fleet parent's ``finally: fleet.stop()`` never runs: the
+    workers are orphaned and the creator-owned shared-memory segments
+    leak (creator-only unlink means nobody else will reclaim them).
+    Raising instead lets ``stop()``'s terminate -> join -> kill -> reap
+    escalation and the shm store teardown do their job.  Main-thread
+    only; a no-op anywhere signals cannot be installed.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def _raise(signum, frame):
+        raise SystemExit(128 + signum)
+
+    signal.signal(signal.SIGTERM, _raise)
 
 
 def reuseport_available() -> bool:
@@ -106,6 +135,10 @@ class FleetWorkerServer(ModelServer):
     """
 
     def handle(self, request: dict) -> dict:
+        # Chaos site: a rule here crashes/stops/hangs this worker at its
+        # next request — how test_chaos provokes the parent's watchdog
+        # and respawn paths from inside a real serving process.
+        faults.fault_point("fleet.worker.serve")
         response = super().handle(request)
         if isinstance(request, dict) and request.get("op") in ("ping", "stats"):
             response["pid"] = os.getpid()
@@ -127,7 +160,10 @@ def _make_shm_loader(attach_wait_s: float):
         while True:
             try:
                 model, lease = shm_store.attach_model(mv.digest)
-            except (FileNotFoundError, ValueError):
+            except (OSError, ValueError):
+                # OSError covers FileNotFoundError (packer not done yet)
+                # and any injected/real shm failure; either way the disk
+                # fallback below keeps the request answerable.
                 if time.monotonic() >= deadline:
                     break
                 time.sleep(0.01)
@@ -163,12 +199,45 @@ def make_worker_server(cfg: dict) -> FleetWorkerServer:
         microbatch=True,
         max_inflight=cfg["max_inflight"],
         model_loader=loader,
+        request_timeout_ms=cfg.get("request_timeout_ms"),
     )
+
+
+def _heartbeat_loop(hb_dir: str, interval_s: float, stop: threading.Event) -> None:
+    """Touch this worker's heartbeat file until told to stop.
+
+    The file's mtime is the liveness signal the parent's watchdog reads:
+    anything that freezes the whole process (SIGSTOP, a paged-out or
+    deadlocked interpreter) freezes this thread too, the mtime goes
+    stale, and the watchdog kills + replaces the worker.  A busy-but-
+    healthy worker keeps beating — handler threads don't block this one.
+    """
+    path = os.path.join(hb_dir, f"hb-{os.getpid()}")
+    while True:
+        try:
+            with open(path, "w") as fh:
+                fh.write(str(time.time()))
+        except OSError:  # hb dir tearing down mid-stop; nothing to signal
+            pass
+        if stop.wait(interval_s):
+            return
 
 
 def _worker_main(cfg: dict, inherited: socket.socket | None) -> None:  # pragma: no cover - runs in forked children
     """Entry point of one forked worker process."""
+    # Forked workers inherit the parent's installed plan; install_from_env
+    # covers chaos runs driving a fleet they didn't fork (CLI --workers).
+    faults.install_from_env()
+    faults.fault_point("fleet.worker.boot")
     server = make_worker_server(cfg)
+    hb_stop = threading.Event()
+    if cfg.get("hb_dir"):
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(cfg["hb_dir"], cfg["hb_interval_s"], hb_stop),
+            name="repro-fleet-heartbeat",
+            daemon=True,
+        ).start()
     if inherited is None:
         sock = _new_socket(cfg["host"], cfg["port"], reuseport=True)
         httpd = _SocketHTTPServer(sock, _http_handler(server), listen=True)
@@ -179,6 +248,7 @@ def _worker_main(cfg: dict, inherited: socket.socket | None) -> None:  # pragma:
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     finally:
+        hb_stop.set()
         httpd.server_close()
         server.close()
 
@@ -190,6 +260,20 @@ class ServeFleet:
     knobs are ``workers``, ``socket_mode`` (``"auto"``/``"reuseport"``/
     ``"inherit"``), ``max_inflight`` (per-worker admission bound) and
     ``poll_interval_s`` (manifest watch + worker monitor cadence).
+
+    Supervision knobs:
+
+    ``hang_timeout_s``
+        A worker whose heartbeat file goes this stale is presumed hung
+        (SIGSTOP'd, deadlocked, swapped to oblivion), SIGKILLed, and
+        respawned.  ``0`` disables the watchdog.
+    ``respawn_backoff_s`` / ``crash_loop_threshold`` / ``crash_loop_window_s``
+        The first crash in a quiet period respawns immediately; repeat
+        crashes within the window back off exponentially from
+        ``respawn_backoff_s``; at ``crash_loop_threshold`` crashes
+        within the window the breaker opens and respawning stops — a
+        worker dying deterministically at boot would otherwise fork-loop
+        forever.  Surviving workers keep serving either way.
     """
 
     def __init__(
@@ -207,6 +291,11 @@ class ServeFleet:
         shm_max_segments: int = 8,
         poll_interval_s: float = 0.2,
         respawn: bool = True,
+        request_timeout_ms: float | None = 30000.0,
+        hang_timeout_s: float = 10.0,
+        respawn_backoff_s: float = 0.5,
+        crash_loop_threshold: int = 5,
+        crash_loop_window_s: float = 30.0,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -223,6 +312,10 @@ class ServeFleet:
         self.shm = shm_store.shared_memory_available() if shm is None else bool(shm)
         self.poll_interval_s = float(poll_interval_s)
         self.respawn = bool(respawn)
+        self.hang_timeout_s = max(float(hang_timeout_s), 0.0)
+        self.respawn_backoff_s = max(float(respawn_backoff_s), 0.0)
+        self.crash_loop_threshold = max(int(crash_loop_threshold), 1)
+        self.crash_loop_window_s = max(float(crash_loop_window_s), 0.0)
         self._requested_port = int(port)
         self._cfg = {
             "registry_dir": self.registry_dir,
@@ -232,9 +325,18 @@ class ServeFleet:
             "max_batch": int(max_batch),
             "max_delay_ms": float(max_delay_ms),
             "max_inflight": int(max_inflight),
+            "request_timeout_ms": request_timeout_ms,
             "shm": self.shm,
             # Workers briefly wait out the packer before a disk fallback.
             "attach_wait_s": 2.0 * float(poll_interval_s),
+            "hb_dir": None,  # known after start()
+            # Beat well inside the watchdog threshold so one missed
+            # write (scheduler hiccup) can't read as a hang.
+            "hb_interval_s": (
+                max(min(self.hang_timeout_s / 4.0, 1.0), 0.05)
+                if self.hang_timeout_s
+                else 1.0
+            ),
         }
         # The parent only deserializes models transiently (to pack them);
         # cache_size=0 keeps it from retaining private copies.
@@ -249,6 +351,12 @@ class ServeFleet:
         self._seen: dict = {}  # name -> digest last packed
         self._tracked: list = []  # external registries with our pack hook
         self._respawns = 0
+        self._hang_kills = 0
+        self._breaker_open = False
+        self._hb_dir: str | None = None
+        self._spawn_walls: dict = {}  # pid -> wall time of fork (hb grace)
+        self._crash_times: list = []  # recent crash wall marks (breaker window)
+        self._due_respawns: list = []  # monotonic due marks (backoff queue)
         self._started = False
 
     # -- lifecycle -------------------------------------------------------------
@@ -272,6 +380,8 @@ class ServeFleet:
         if not reuseport:
             self._sock.listen(128)
         self._cfg["port"] = self.port
+        self._hb_dir = tempfile.mkdtemp(prefix="repro-fleet-hb-")
+        self._cfg["hb_dir"] = self._hb_dir
         if self.shm:
             # Start the stdlib resource tracker BEFORE forking: workers
             # then inherit the parent's tracker, where one segment's
@@ -310,7 +420,17 @@ class ServeFleet:
         return self
 
     def stop(self) -> None:
-        """Workers down, port released, every shm segment unlinked once."""
+        """Workers down, port released, every shm segment unlinked once.
+
+        Worker teardown escalates: polite SIGTERM first, then SIGKILL
+        for anything still alive after the grace period.  A SIGSTOP'd
+        worker never *handles* SIGTERM (it stays pending while the
+        process is stopped), and a worker wedged in a C extension may
+        ignore it — the old single-round terminate could therefore
+        return with live children still holding shm attachments, and
+        the unlink below would leak segments.  Every handle is closed
+        (reaped) at the end so no zombie survives the fleet object.
+        """
         if not self._started or self._stop.is_set():
             self._stop.set()
             return
@@ -324,9 +444,20 @@ class ServeFleet:
                 p.terminate()
         for p in procs:
             p.join(timeout=5.0)
-            if p.is_alive():  # pragma: no cover - stuck worker
-                p.kill()
-                p.join(timeout=5.0)
+        stragglers = [p for p in procs if p.is_alive()]
+        for p in stragglers:  # pragma: no cover - needs a wedged worker
+            print(
+                f"[fleet] worker {p.pid} survived SIGTERM; killing",
+                file=sys.stderr,
+            )
+            p.kill()
+        for p in stragglers:  # pragma: no cover - needs a wedged worker
+            p.join(timeout=5.0)
+        for p in procs:
+            self._cleanup_worker(p)
+        if self._hb_dir is not None:
+            shutil.rmtree(self._hb_dir, ignore_errors=True)
+            self._hb_dir = None
         if self._sock is not None:
             self._sock.close()
             self._sock = None
@@ -360,6 +491,24 @@ class ServeFleet:
         proc.start()
         with self._lock:
             self._procs.append(proc)
+            # Heartbeat grace anchor: until the worker's first beat, the
+            # watchdog ages it from the fork, not from a missing file.
+            self._spawn_walls[proc.pid] = time.time()
+
+    def _cleanup_worker(self, p) -> None:
+        """Reap one exited worker's process handle and heartbeat file."""
+        if p.pid is not None:
+            with self._lock:
+                self._spawn_walls.pop(p.pid, None)
+            if self._hb_dir is not None:
+                try:
+                    os.unlink(os.path.join(self._hb_dir, f"hb-{p.pid}"))
+                except OSError:
+                    pass
+        try:
+            p.close()
+        except ValueError:  # pragma: no cover - still alive (stop raced us)
+            pass
 
     def worker_pids(self) -> list:
         with self._lock:
@@ -369,23 +518,113 @@ class ServeFleet:
     def respawns(self) -> int:
         return self._respawns
 
+    @property
+    def hang_kills(self) -> int:
+        """Workers the heartbeat watchdog has killed (then respawned)."""
+        return self._hang_kills
+
+    @property
+    def breaker_open(self) -> bool:
+        """Whether the crash-loop breaker has stopped respawning."""
+        return self._breaker_open
+
     def _monitor_workers(self) -> None:
         while not self._stop.wait(self.poll_interval_s):
+            self._kill_hung_workers()
             with self._lock:
                 dead = [p for p in self._procs if not p.is_alive()]
                 for p in dead:
                     self._procs.remove(p)
             for p in dead:
                 p.join(timeout=1.0)
+                pid, code = p.pid, p.exitcode
+                self._cleanup_worker(p)
                 if self._stop.is_set() or not self.respawn:
                     continue
                 print(
-                    f"[fleet] worker {p.pid} exited "
-                    f"(code {p.exitcode}); respawning",
+                    f"[fleet] worker {pid} exited (code {code}); "
+                    f"scheduling respawn",
                     file=sys.stderr,
                 )
-                self._respawns += 1
-                self._spawn()
+                self._schedule_respawn()
+            self._spawn_due_respawns()
+
+    def _kill_hung_workers(self) -> None:
+        """SIGKILL workers whose heartbeat went stale (the hang watchdog).
+
+        SIGKILL, not SIGTERM: it is delivered even to a SIGSTOP'd
+        process, and a worker that stopped heartbeating cannot be
+        trusted to run a signal handler anyway.  The kill surfaces as a
+        dead worker on the next monitor pass, which respawns it through
+        the ordinary (backoff + breaker) path.
+        """
+        if not self.hang_timeout_s or self._hb_dir is None:
+            return
+        now = time.time()
+        with self._lock:
+            procs = list(self._procs)
+        for p in procs:
+            if p.pid is None or not p.is_alive():
+                continue
+            try:
+                beat = os.stat(os.path.join(self._hb_dir, f"hb-{p.pid}")).st_mtime
+            except OSError:
+                with self._lock:
+                    beat = self._spawn_walls.get(p.pid, now)
+            if now - beat > self.hang_timeout_s:
+                print(
+                    f"[fleet] worker {p.pid} heartbeat stale "
+                    f"({now - beat:.1f}s > {self.hang_timeout_s:.1f}s); killing",
+                    file=sys.stderr,
+                )
+                self._hang_kills += 1
+                p.kill()
+
+    def _schedule_respawn(self) -> None:
+        """Queue a replacement worker, with backoff and a crash-loop breaker.
+
+        The first crash in a quiet window respawns immediately (fast
+        recovery is the common case); each further crash inside
+        ``crash_loop_window_s`` doubles the delay from
+        ``respawn_backoff_s``; at ``crash_loop_threshold`` crashes the
+        breaker opens and the fleet stops feeding processes to a
+        deterministic boot failure — surviving workers keep serving.
+        """
+        now = time.time()
+        with self._lock:
+            recent = [
+                t for t in self._crash_times
+                if now - t <= self.crash_loop_window_s
+            ]
+            prior = len(recent)
+            recent.append(now)
+            self._crash_times = recent
+            if len(recent) >= self.crash_loop_threshold:
+                if not self._breaker_open:
+                    self._breaker_open = True
+                    print(
+                        f"[fleet] crash-loop breaker open: "
+                        f"{len(recent)} worker crashes within "
+                        f"{self.crash_loop_window_s:.0f}s; not respawning",
+                        file=sys.stderr,
+                    )
+                return
+            delay = (
+                0.0 if prior == 0
+                else min(self.respawn_backoff_s * (2.0 ** (prior - 1)), 10.0)
+            )
+            self._due_respawns.append(time.monotonic() + delay)
+
+    def _spawn_due_respawns(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            due = [t for t in self._due_respawns if t <= now]
+            self._due_respawns = [t for t in self._due_respawns if t > now]
+        for _ in due:
+            if self._stop.is_set():
+                return
+            self._respawns += 1
+            self._spawn()
 
     # -- shm packing / hot-swap propagation ------------------------------------
 

@@ -37,6 +37,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.faults import fault_point, mangle, retry_call
 from repro.utils.serialization import dumps_model, loads_model
 
 __all__ = ["ModelRegistry", "ModelVersion"]
@@ -78,13 +79,39 @@ class ModelVersion:
         }
 
 
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory's entry table (making a rename/link durable)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. O_RDONLY on a dir (Windows)
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without directory fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` via temp file + rename (never half-written)."""
+    """Durably write ``data`` to ``path``: temp file + fsync + rename + dir fsync.
+
+    The fsyncs are load-bearing, not ceremony: ``os.replace`` alone
+    orders the rename against *nothing* — after a crash the directory
+    entry can point at a file whose blocks never hit disk, i.e. a
+    published manifest referencing a blob of zeros.  Syncing the temp
+    file before the rename and the parent directory after it gives the
+    standard write-ahead guarantee: once the name is visible, its
+    content is on disk.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
+    data = mangle("registry.write", data)
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as fh:
             fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -92,6 +119,7 @@ def _atomic_write_bytes(path: Path, data: bytes) -> None:
         except OSError:
             pass
         raise
+    _fsync_dir(path.parent)
 
 
 class ModelRegistry:
@@ -184,7 +212,15 @@ class ModelRegistry:
         digest = hashlib.sha256(data).hexdigest()
         obj_path = self._object_path(digest)
         if not obj_path.exists():
-            _atomic_write_bytes(obj_path, data)
+            # Blob writes are idempotent, so a transient I/O failure is
+            # safely retryable; a persistent one propagates to the
+            # publisher before any manifest could reference the blob.
+            retry_call(
+                lambda: _atomic_write_bytes(obj_path, data),
+                attempts=3,
+                base_delay_s=0.02,
+                deadline_s=2.0,
+            )
 
         mdir = self._model_dir(name)
         mdir.mkdir(parents=True, exist_ok=True)
@@ -199,12 +235,16 @@ class ModelRegistry:
                 "meta": meta,
             }
             text = json.dumps(record, indent=1)  # may raise: before any claim
+            payload = mangle("registry.manifest", text.encode("utf-8"))
             path = mdir / f"v{version:04d}.json"
             fd, tmp = tempfile.mkstemp(dir=mdir, suffix=".tmp")
             try:
-                with os.fdopen(fd, "w") as fh:
-                    fh.write(text)
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(payload)
+                    fh.flush()
+                    os.fsync(fh.fileno())  # content durable before the claim
                 os.link(tmp, path)  # atomic claim of this version number
+                _fsync_dir(mdir)  # the claim itself durable before hooks run
             except FileExistsError:
                 # Another publisher claimed it — possibly within the same
                 # mtime tick, so drop the cached pointer before rescanning
@@ -282,21 +322,9 @@ class ModelRegistry:
         with self._lock:
             self._latest.pop(name, None)
 
-    def resolve(self, name: str, version: int | None = None) -> ModelVersion:
-        """The :class:`ModelVersion` for ``name`` (latest when unversioned).
-
-        Resolution is the freshness point of the registry: the latest
-        pointer is re-checked against the manifest directory's mtime on
-        every call, so a republish (from any process) is visible on the
-        next resolve.  Only immutable state is memoized — claimed
-        manifests and content-addressed blobs.
-        """
-        self._check_name(name)
-        if version is None:
-            version = self._latest_version_number(name)
-            if version == 0:
-                raise KeyError(f"no model published under {name!r}")
-        version = int(version)
+    def _read_manifest(self, name: str, version: int) -> ModelVersion:
+        """Load (or cache-hit) one claimed manifest; ``KeyError`` when
+        missing, torn, or otherwise unreadable."""
         key = (name, version)
         with self._lock:
             mv = self._manifests.get(key)
@@ -306,21 +334,60 @@ class ModelRegistry:
         path = self._model_dir(name) / f"v{version:04d}.json"
         try:
             record = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
+            mv = ModelVersion(
+                record["name"],
+                int(record["version"]),
+                record["digest"],
+                float(record.get("created", 0.0)),
+                dict(record.get("meta", {})),
+            )
+        except (OSError, ValueError, TypeError, KeyError) as exc:
+            # json.JSONDecodeError is a ValueError: a torn manifest and a
+            # missing one both surface as the same miss to callers.
             raise KeyError(f"no version {version} of model {name!r}") from exc
-        mv = ModelVersion(
-            record["name"],
-            int(record["version"]),
-            record["digest"],
-            float(record.get("created", 0.0)),
-            dict(record.get("meta", {})),
-        )
         with self._lock:
             self._manifests[key] = mv
             self._manifests.move_to_end(key)
             while len(self._manifests) > 64:
                 self._manifests.popitem(last=False)
         return mv
+
+    def resolve(self, name: str, version: int | None = None) -> ModelVersion:
+        """The :class:`ModelVersion` for ``name`` (latest when unversioned).
+
+        Resolution is the freshness point of the registry: the latest
+        pointer is re-checked against the manifest directory's mtime on
+        every call, so a republish (from any process) is visible on the
+        next resolve.  Only immutable state is memoized — claimed
+        manifests and content-addressed blobs.
+
+        A torn or partial manifest under ``name@latest`` (a publisher
+        crashed mid-claim on a filesystem that let the link outlive its
+        content) is *skipped*: resolution falls back to the newest
+        readable predecessor, so readers keep serving the incumbent
+        instead of failing on a version nobody finished publishing.  An
+        explicitly requested version still raises — the caller named a
+        version, and silently answering with a different one would be a
+        correctness bug, not resilience.
+        """
+        self._check_name(name)
+        if version is not None:
+            return self._read_manifest(name, int(version))
+        latest = self._latest_version_number(name)
+        if latest == 0:
+            raise KeyError(f"no model published under {name!r}")
+        try:
+            return self._read_manifest(name, latest)
+        except KeyError:
+            pass
+        for fallback in reversed(self._version_numbers(name)):
+            if fallback == latest:
+                continue
+            try:
+                return self._read_manifest(name, fallback)
+            except KeyError:
+                continue
+        raise KeyError(f"no readable version of model {name!r}")
 
     def names(self) -> list[str]:
         """Sorted names with at least one published version.
@@ -371,8 +438,18 @@ class ModelRegistry:
         # Deserialize outside the lock: concurrent loads of *different*
         # digests shouldn't serialize on one pickle pass.
         path = self._object_path(mv.digest)
+
+        def _read() -> bytes:
+            fault_point("registry.read")
+            return path.read_bytes()
+
         try:
-            model = loads_model(path.read_bytes())
+            # Blob reads are retried briefly: on the serving path a
+            # transient I/O error (NFS hiccup, EINTR-ish failure) should
+            # cost milliseconds, not a 404 at the protocol boundary.
+            model = loads_model(
+                retry_call(_read, attempts=3, base_delay_s=0.01, deadline_s=1.0)
+            )
         except OSError as exc:
             raise KeyError(
                 f"registry object {mv.digest[:12]}... for {mv.ref} is missing"

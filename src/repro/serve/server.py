@@ -36,10 +36,18 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from repro import faults
 from repro.serve.engine import PredictionEngine
 from repro.serve.registry import ModelRegistry
 
-__all__ = ["BatcherClosed", "MicroBatcher", "ModelServer", "Overloaded", "main"]
+__all__ = [
+    "BatcherClosed",
+    "MicroBatcher",
+    "ModelServer",
+    "Overloaded",
+    "PredictTimeout",
+    "main",
+]
 
 
 class BatcherClosed(RuntimeError):
@@ -57,6 +65,18 @@ class Overloaded(RuntimeError):
     is full; the protocol layer turns it into the canonical
     ``{"ok": false, "error": "overloaded"}`` response (HTTP 503) so
     load balancers can retry elsewhere instead of piling on.
+    """
+
+
+class PredictTimeout(RuntimeError):
+    """A predict outlived the per-request budget — answered with HTTP 504.
+
+    Raised by :meth:`MicroBatcher.submit` when the batch containing the
+    request did not flush within ``timeout_s``.  The waiter gets this
+    (and the transport a 504) instead of blocking forever behind a
+    wedged model; the batcher separately replaces its flush worker when
+    the evidence says that worker is stuck (see
+    :meth:`MicroBatcher._replace_wedged_worker`).
     """
 
 
@@ -107,6 +127,7 @@ class MicroBatcher:
         max_batch: int = 256,
         max_delay_s: float = 0.002,
         max_pending: int | None = None,
+        timeout_s: float | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -117,6 +138,10 @@ class MicroBatcher:
         # (admission control): when the worker falls behind, submit
         # raises Overloaded instead of queueing unboundedly.
         self.max_pending = None if max_pending is None else max(int(max_pending), 1)
+        # Per-request budget: a submit not answered within ``timeout_s``
+        # raises PredictTimeout instead of waiting forever on a wedged
+        # flush (None preserves the historical wait-forever behaviour).
+        self.timeout_s = None if timeout_s is None else max(float(timeout_s), 1e-3)
         self._queue: queue.Queue = queue.Queue()
         self._pending = 0
         self._closed = False
@@ -124,8 +149,15 @@ class MicroBatcher:
         # item can ever land behind the shutdown sentinel (which would
         # leave its submitter blocked forever).
         self._submit_lock = threading.Lock()
+        # Flush-worker supervision: ``_flush_started`` is the wall mark
+        # of the in-progress flush (None between flushes); ``_gen``
+        # identifies the *current* worker thread, so an abandoned,
+        # still-wedged predecessor can tell it has been replaced.
+        self._flush_started: float | None = None
+        self._gen = 0
+        self._replacements = 0
         self._worker = threading.Thread(
-            target=self._run, name="repro-serve-microbatch", daemon=True
+            target=self._run, args=(0,), name="repro-serve-microbatch", daemon=True
         )
         self._worker.start()
 
@@ -133,7 +165,8 @@ class MicroBatcher:
         """Block until the batch containing ``x`` flushes; return its slice.
 
         Raises :class:`Overloaded` (without enqueueing) when
-        ``max_pending`` submissions are already waiting.
+        ``max_pending`` submissions are already waiting, and
+        :class:`PredictTimeout` when the flush misses ``timeout_s``.
         """
         item = _Pending(np.atleast_2d(np.asarray(x, dtype=float)))
         with self._submit_lock:
@@ -143,10 +176,48 @@ class MicroBatcher:
                 raise Overloaded("overloaded")
             self._pending += 1
             self._queue.put(item)
-        item.event.wait()
+        if not item.event.wait(self.timeout_s):
+            # Abandon the item (a late flush setting its event is
+            # harmless — nobody is reading it) and check whether the
+            # flush worker itself is the thing that is stuck.
+            self._replace_wedged_worker()
+            raise PredictTimeout(
+                f"predict timed out after {self.timeout_s:.3f}s"
+            )
         if item.error is not None:
             raise item.error
         return item.result
+
+    def _replace_wedged_worker(self) -> None:
+        """Spawn a fresh flush worker when the current one is stuck.
+
+        Called from a timed-out submitter.  Evidence of a wedge: a flush
+        has been in progress the whole time we waited (``_flush_started``
+        at least ``timeout_s`` old).  The stuck thread cannot be killed
+        (Python offers no such thing), so it is *abandoned*: a
+        generation bump tells it to exit as soon as its flush_fn ever
+        returns, and a replacement takes over the queue immediately —
+        one slow model costs its own requests a 504, not the server its
+        flush pipeline.  Replacing a merely-slow (not wedged) worker is
+        possible under racing timeouts and harmless: both drain the same
+        queue, each item is flushed by exactly one of them.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            started = self._flush_started
+            if started is None or time.perf_counter() - started < self.timeout_s:
+                return  # worker is making progress; we were just queued behind
+            self._gen += 1
+            self._flush_started = None
+            self._replacements += 1
+            self._worker = threading.Thread(
+                target=self._run,
+                args=(self._gen,),
+                name="repro-serve-microbatch",
+                daemon=True,
+            )
+            self._worker.start()
 
     def _drained(self, n: int = 1) -> None:
         """Account ``n`` submissions leaving the pending queue."""
@@ -220,13 +291,35 @@ class MicroBatcher:
             for item in batch:
                 item.event.set()
 
-    def _run(self) -> None:
+    def _run(self, gen: int) -> None:
         while True:
             item = self._queue.get()
+            with self._submit_lock:
+                stale = gen != self._gen
+            if stale:
+                # Replaced while waiting: hand whatever we dequeued (an
+                # item, or the close sentinel) to the successor and exit.
+                self._queue.put(item)
+                return
             if item is None:
                 return
             self._drained()
-            self._flush(self._collect(item))
+            batch = self._collect(item)
+            with self._submit_lock:
+                if gen == self._gen:
+                    self._flush_started = time.perf_counter()
+            try:
+                self._flush(batch)
+            finally:
+                with self._submit_lock:
+                    if gen == self._gen:
+                        self._flush_started = None
+                    stale = gen != self._gen
+            if stale:
+                # Our wedged flush finally returned, but a replacement
+                # already owns the queue; those waiters were answered
+                # late (harmlessly — they stopped listening), we leave.
+                return
 
 
 class ModelServer:
@@ -249,12 +342,20 @@ class ModelServer:
         engine_cache_size: int = 16,
         max_inflight: int | None = None,
         model_loader=None,
+        request_timeout_ms: float | None = None,
     ):
         self.registry = registry
         self.default_model = default_model
         self.max_batch = int(max_batch)
         self.max_delay_s = float(max_delay_ms) / 1e3
         self.microbatch = bool(microbatch)
+        # Per-request predict budget (microbatched transports only): a
+        # flush missing it answers 504 instead of wedging its handler
+        # thread forever.  ``None``/``0`` disables (the stdin default —
+        # single-threaded, nothing else to protect).
+        self.request_timeout_s = (
+            None if not request_timeout_ms else float(request_timeout_ms) / 1e3
+        )
         # Engines pin their deserialized model (and, when microbatching,
         # a worker thread), so the cache is LRU-bounded: a long-running
         # server in the republish-while-serving regime must not
@@ -352,6 +453,7 @@ class ModelServer:
                         max_batch=self.max_batch,
                         max_delay_s=self.max_delay_s,
                         max_pending=self.max_inflight,
+                        timeout_s=self.request_timeout_s,
                     )
                     self._batchers[key] = batcher
             try:
@@ -418,6 +520,10 @@ class ModelServer:
             # HTTP transport answer 503 so a fleet load balancer retries
             # another worker instead of treating it as a client error.
             return {"ok": False, "error": "overloaded", "code": 503}
+        except PredictTimeout:
+            # Must precede the RuntimeError clause below (it is one):
+            # a missed deadline is 504, not a model-level refusal.
+            return {"ok": False, "error": "timeout", "code": 504}
         except KeyError as exc:
             # Unknown model/version: 404, not 400 — a load balancer must
             # be able to tell a miss from a malformed request.
@@ -609,13 +715,30 @@ def main(argv=None) -> int:
     parser.add_argument("--max-inflight", type=int, default=128,
                         help="per-process admission bound before requests "
                              "are shed with 503 overloaded")
+    parser.add_argument("--request-timeout-ms", type=float, default=30000.0,
+                        help="per-request predict budget before a 504 "
+                             "(0 disables)")
+    parser.add_argument("--fault-plan", default=None, metavar="JSON|@FILE",
+                        help="install a repro.faults FaultPlan (chaos runs): "
+                             "inline JSON or @path/to/plan.json")
     args = parser.parse_args(argv)
+
+    if args.fault_plan:
+        faults.install(faults.plan_from_arg(args.fault_plan))
+    else:
+        faults.install_from_env()
 
     if args.workers > 1:
         if args.http is None:
             parser.error("--workers requires --http (the fleet shares a port)")
-        from repro.serve.fleet import ServeFleet  # circular at module scope
+        from repro.serve.fleet import (  # circular at module scope
+            ServeFleet,
+            exit_on_sigterm,
+        )
 
+        # ``kill <pid>`` must tear the fleet down like Ctrl-C does:
+        # reap workers, unlink shm segments (creator-only discipline).
+        exit_on_sigterm()
         fleet = ServeFleet(
             args.registry,
             workers=args.workers,
@@ -625,6 +748,7 @@ def main(argv=None) -> int:
             max_batch=args.max_batch,
             max_delay_ms=args.max_delay_ms,
             max_inflight=args.max_inflight,
+            request_timeout_ms=args.request_timeout_ms,
         )
         fleet.start()
         print(
@@ -650,6 +774,7 @@ def main(argv=None) -> int:
         max_delay_ms=args.max_delay_ms,
         microbatch=args.http is not None,
         max_inflight=args.max_inflight,
+        request_timeout_ms=args.request_timeout_ms,
     )
     if args.stdin:
         return serve_stdin(server)

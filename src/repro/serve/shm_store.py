@@ -43,6 +43,7 @@ import threading
 
 import numpy as np
 
+from repro.faults import fault_point
 from repro.utils.serialization import model_payload, payload_to_model
 
 try:  # gated: some minimal platforms build Python without _posixshmem
@@ -144,6 +145,7 @@ def pack_model(model, digest: str, *, fit_state: bool = False):
     and reused when sound, recreated when corrupt.
     """
     shm_mod = _require_shm()
+    fault_point("shm.pack")
     buffers: list = []
     payload = model_payload(model, fit_state=fit_state)
     inband = pickle.dumps(
@@ -209,6 +211,7 @@ def attach_model(digest: str):
     copy.
     """
     shm_mod = _require_shm()
+    fault_point("shm.attach")
     shm = shm_mod.SharedMemory(name=segment_name(digest))
     try:
         view = shm.buf.toreadonly()

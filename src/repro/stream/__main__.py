@@ -85,7 +85,17 @@ def main(argv=None) -> int:
                              "workers mid-stream")
     parser.add_argument("--serve-port", type=int, default=0,
                         help="fleet port with --serve-workers (0 = ephemeral)")
+    parser.add_argument("--fault-plan", default=None, metavar="JSON|@FILE",
+                        help="install a repro.faults FaultPlan (chaos runs): "
+                             "inline JSON or @path/to/plan.json")
     args = parser.parse_args(argv)
+
+    from repro import faults
+
+    if args.fault_plan:
+        faults.install(faults.plan_from_arg(args.fault_plan))
+    else:
+        faults.install_from_env()
 
     app = get_application(args.app)
     name = args.name or f"{args.app}-stream"
@@ -93,7 +103,11 @@ def main(argv=None) -> int:
     fleet = None
     if args.serve_workers > 0:
         from repro.serve import ServeFleet
+        from repro.serve.fleet import exit_on_sigterm
 
+        # A SIGTERM mid-replay must still reach ``finally: fleet.stop()``
+        # below, or the workers orphan and the shm segments leak.
+        exit_on_sigterm()
         fleet = ServeFleet(
             args.registry, workers=args.serve_workers, port=args.serve_port,
             default_model=name,

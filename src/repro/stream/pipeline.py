@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.faults import fault_point, retry_call
 from repro.stream.buffer import ObservationBuffer
 from repro.stream.drift import DriftMonitor
 from repro.stream.trainer import IncrementalTrainer
@@ -65,6 +66,9 @@ class StreamSession:
         self.meta = dict(meta or {})
         self.published_versions: list[int] = []
         self.resumed_from: int | None = None
+        self.publish_failures = 0
+        self._publish_degraded = False
+        self._last_publish_error: str | None = None
 
     # -- resuming --------------------------------------------------------------
 
@@ -126,7 +130,13 @@ class StreamSession:
         batch_err = None
         if self.trainer.model is not None and len(y):
             fn = predict_fn if predict_fn is not None else self.trainer.model.predict
-            batch_err = self.monitor.record(np.asarray(fn(X), dtype=float), y)
+            try:
+                batch_err = self.monitor.record(np.asarray(fn(X), dtype=float), y)
+            except Exception:
+                # A failing scorer (e.g. a predict_fn over a down server)
+                # loses one drift sample, never the observations — they
+                # are journaled and absorbed below regardless.
+                batch_err = None
         self.buffer.append(X, y)
         record = self.flush()
         record["batch_error"] = batch_err
@@ -134,19 +144,36 @@ class StreamSession:
         return record
 
     def flush(self) -> dict:
-        """Absorb pending observations; publish when the model was (re)fitted."""
+        """Absorb pending observations; publish when the model was (re)fitted.
+
+        A failed or deferred update leaves the pending rows *unflushed*
+        (they are journaled, so nothing is lost) — the next flush
+        presents the accumulated batch again once the trainer's backoff
+        allows a retry.  A failed publish keeps the incumbent registry
+        version serving and marks the session :attr:`degraded`.
+        """
         X_new, y_new = self.buffer.since(self.buffer.flushed)
         # The refit set is passed lazily: the common partial path never
         # materializes the retention window.
         record = self.trainer.update(X_new, y_new, self.buffer.refit_arrays)
-        self.buffer.mark_flushed()
+        if record["action"] not in ("deferred", "failed"):
+            self.buffer.mark_flushed()
         if record["action"] in ("fit", "refit"):
             version = self.publish(reason=record.get("reason", ""))
             record["published_version"] = version
+            if version is None and self.registry is not None:
+                record["publish_error"] = self._last_publish_error
         return record
 
     def publish(self, reason: str = "") -> int | None:
-        """Publish the current model as the next registry version."""
+        """Publish the current model as the next registry version.
+
+        Retries transient registry failures briefly; on exhaustion
+        returns ``None`` and degrades instead of raising — consumers
+        keep resolving the previous version, and the next (re)fit gets
+        another chance (the journal, not the registry, is the stream's
+        source of truth).
+        """
         if self.registry is None or self.trainer.model is None:
             return None
         meta = dict(self.meta)
@@ -159,9 +186,27 @@ class StreamSession:
                 else float(self.monitor.error),
             }
         )
-        mv = self.registry.publish(self.name, self.trainer.model, meta=meta)
+
+        def _publish():
+            fault_point("stream.publish")
+            return self.registry.publish(self.name, self.trainer.model, meta=meta)
+
+        try:
+            mv = retry_call(_publish, attempts=3, base_delay_s=0.05, deadline_s=5.0)
+        except Exception as exc:
+            self.publish_failures += 1
+            self._publish_degraded = True
+            self._last_publish_error = f"{type(exc).__name__}: {exc}"
+            return None
+        self._publish_degraded = False
+        self._last_publish_error = None
         self.published_versions.append(mv.version)
         return mv.version
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the session is serving stale state after a failure."""
+        return self.trainer.degraded or self._publish_degraded
 
     @property
     def republished(self) -> int:
@@ -179,6 +224,8 @@ class StreamSession:
             "drift": self.monitor.to_record(),
             "published_versions": list(self.published_versions),
             "republished": self.republished,
+            "publish_failures": self.publish_failures,
+            "degraded": self.degraded,
         }
 
 

@@ -18,7 +18,11 @@ the two events a warm start cannot absorb:
 """
 from __future__ import annotations
 
+import time
+
 import numpy as np
+
+from repro.faults import fault_point
 
 __all__ = ["IncrementalTrainer", "known_cell_mask"]
 
@@ -59,23 +63,77 @@ class IncrementalTrainer:
     partial_sweeps
         Sweep budget forwarded to ``partial_fit`` (``None`` uses the
         model's default: ``max_sweeps // 5``).
+    failure_backoff_s, max_backoff_s
+        Graceful-degradation policy: a failed update keeps the incumbent
+        model serving, marks the trainer :attr:`degraded`, and defers
+        further update *attempts* (``action: "deferred"``) for an
+        exponentially growing backoff window starting at
+        ``failure_backoff_s`` and capped at ``max_backoff_s`` — a
+        diverging refit must not burn a core retrying every batch while
+        the incumbent is still answering queries.  The first successful
+        update clears the degradation.
     """
 
-    def __init__(self, model_factory, monitor=None, partial_sweeps: int | None = None):
+    def __init__(
+        self,
+        model_factory,
+        monitor=None,
+        partial_sweeps: int | None = None,
+        failure_backoff_s: float = 1.0,
+        max_backoff_s: float = 30.0,
+    ):
         self.model_factory = model_factory
         self.monitor = monitor
         self.partial_sweeps = partial_sweeps
+        self.failure_backoff_s = max(float(failure_backoff_s), 0.0)
+        self.max_backoff_s = max(float(max_backoff_s), self.failure_backoff_s)
         self.model = None
         self.n_fit = 0
         self.n_partial = 0
         self.n_refit = 0
+        self.n_failed = 0
         self.refit_reasons: dict = {}
+        self._consecutive_failures = 0
+        self._backoff_until = 0.0
+        # A partial_fit that died mid-sweep may have torn the model's
+        # factors; the next attempt must rebuild from the retention
+        # window rather than warm-start from suspect state.
+        self._force_refit = False
 
     # -- lifecycle -------------------------------------------------------------
 
     def adopt(self, model) -> None:
         """Resume from an existing fitted model (e.g. loaded from a registry)."""
         self.model = model
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the last update attempt failed (incumbent still serving)."""
+        return self._consecutive_failures > 0
+
+    def _note_failure(self, stage: str, exc: Exception, n_new: int) -> dict:
+        """Record a failed update; arm the backoff; keep the incumbent."""
+        self.n_failed += 1
+        self._consecutive_failures += 1
+        if stage == "partial":
+            self._force_refit = True
+        backoff = min(
+            self.failure_backoff_s * (2.0 ** (self._consecutive_failures - 1)),
+            self.max_backoff_s,
+        )
+        self._backoff_until = time.monotonic() + backoff
+        return {
+            "action": "failed",
+            "stage": stage,
+            "error": f"{type(exc).__name__}: {exc}",
+            "n_new": n_new,
+            "backoff_s": backoff,
+        }
+
+    def _note_success(self) -> None:
+        self._consecutive_failures = 0
+        self._backoff_until = 0.0
+        self._force_refit = False
 
     def classify(self, X: np.ndarray) -> dict:
         """Counts of where a pending batch lands relative to the fitted model."""
@@ -114,11 +172,28 @@ class IncrementalTrainer:
         def refit_set():
             return X_all() if callable(X_all) else (X_all, y_all)
 
+        remaining = self._backoff_until - time.monotonic()
+        if remaining > 0:
+            # Degraded and inside the backoff window: don't retry yet.
+            # The caller keeps the pending rows unflushed, so the next
+            # attempt absorbs them (see StreamSession.flush).
+            return {
+                "action": "deferred",
+                "reason": "backoff",
+                "n_new": len(y_new),
+                "retry_in_s": remaining,
+            }
+
         if self.model is None:
             X_fit, y_fit = refit_set()
             if len(np.asarray(y_fit)) == 0:
                 return {"action": "noop", "reason": "empty", "n_new": 0}
-            self.model = self.model_factory().fit(X_fit, y_fit)
+            try:
+                fault_point("stream.refit")
+                self.model = self.model_factory().fit(X_fit, y_fit)
+            except Exception as exc:
+                return self._note_failure("fit", exc, len(y_new))
+            self._note_success()
             self.n_fit += 1
             return {"action": "fit", "reason": "initial", "n_new": len(y_new)}
         if len(y_new) == 0:
@@ -126,18 +201,38 @@ class IncrementalTrainer:
 
         placement = self.classify(X_new)
         reason = None
-        if self.monitor is not None and self.monitor.should_refit():
+        if self._force_refit:
+            # Last partial_fit failed mid-update: rebuild from the
+            # window before trusting warm-start state again.
+            reason = "recover"
+        elif self.monitor is not None and self.monitor.should_refit():
             reason = "drift"
         elif placement["out_of_domain"] > 0:
             reason = "domain"
 
         if reason is None:
-            self.model.partial_fit(X_new, y_new, max_sweeps=self.partial_sweeps)
+            try:
+                fault_point("stream.partial")
+                self.model.partial_fit(
+                    X_new, y_new, max_sweeps=self.partial_sweeps
+                )
+            except Exception as exc:
+                return self._note_failure("partial", exc, len(y_new))
+            self._note_success()
             self.n_partial += 1
             return {"action": "partial", "placement": placement, "n_new": len(y_new)}
 
         X_fit, y_fit = refit_set()
-        self.model = self.model_factory().fit(X_fit, y_fit)
+        try:
+            fault_point("stream.refit")
+            model = self.model_factory().fit(X_fit, y_fit)
+        except Exception as exc:
+            # The incumbent keeps serving; only a *successful* refit
+            # replaces it (the factory builds the new model off to the
+            # side, so a mid-fit crash tears nothing).
+            return self._note_failure("refit", exc, len(y_new))
+        self.model = model
+        self._note_success()
         self.n_refit += 1
         self.refit_reasons[reason] = self.refit_reasons.get(reason, 0) + 1
         if self.monitor is not None:
@@ -156,6 +251,8 @@ class IncrementalTrainer:
             "fit": self.n_fit,
             "partial": self.n_partial,
             "refit": self.n_refit,
+            "failed": self.n_failed,
+            "degraded": self.degraded,
             "refit_reasons": dict(self.refit_reasons),
         }
 

@@ -259,6 +259,82 @@ def test_fleet_respawns_crashed_worker(tmp_path, bcast_data, fitted):
         np.testing.assert_allclose(out["y"], fitted.predict(test.X[:2]))
 
 
+def _pinned_conn(port, timeout=5.0):
+    """A persistent connection plus the pid of the worker it landed on.
+
+    With SO_REUSEPORT the kernel assigns each TCP connection to one
+    worker's accept queue at connect time, so a keep-alive connection
+    keeps talking to that same worker for its whole life — which is what
+    lets a test address a *specific* worker through the shared port.
+    """
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    conn.request("POST", "/", json.dumps({"op": "ping"}))
+    out = json.loads(conn.getresponse().read())
+    return conn, out["pid"]
+
+
+@needs_fork
+def test_fleet_hang_watchdog_replaces_stopped_worker(tmp_path, bcast_data, fitted):
+    """A SIGSTOP'd worker is detected and replaced; survivors' in-flight
+    clients see zero errors throughout."""
+    _, _, test = bcast_data
+    ModelRegistry(tmp_path).publish("m", fitted)
+    Xq = test.X[:2]
+    expect = fitted.predict(Xq)
+    fleet = ServeFleet(
+        tmp_path, workers=2, default_model="m", poll_interval_s=0.05,
+        hang_timeout_s=1.0,
+    )
+    with fleet:
+        # Pin one persistent connection to each worker.
+        conns: dict = {}
+        deadline = time.time() + 15
+        while len(conns) < 2 and time.time() < deadline:
+            try:
+                conn, pid = _pinned_conn(fleet.port)
+            except (ConnectionError, OSError):
+                time.sleep(0.05)
+                continue
+            if pid in conns:
+                conn.close()
+            else:
+                conns[pid] = conn
+        assert len(conns) == 2
+        stopped, survivor = list(conns)
+        conns[stopped].close()
+
+        os.kill(stopped, signal.SIGSTOP)
+        # The survivor's clients must not observe a single failure while
+        # the watchdog notices the frozen worker, kills, and replaces it.
+        survivor_conn = conns[survivor]
+        errors = 0
+        deadline = time.time() + 20
+        while time.time() < deadline and (
+            fleet.hang_kills < 1
+            or stopped in fleet.worker_pids()
+            or len(fleet.worker_pids()) < 2
+        ):
+            survivor_conn.request(
+                "POST", "/", json.dumps({"op": "predict", "x": Xq.tolist()})
+            )
+            resp = survivor_conn.getresponse()
+            out = json.loads(resp.read())
+            if resp.status != 200 or not out.get("ok"):
+                errors += 1
+            else:
+                np.testing.assert_allclose(out["y"], expect)
+            time.sleep(0.02)
+        survivor_conn.close()
+        assert errors == 0
+        assert fleet.hang_kills >= 1 and fleet.respawns >= 1
+        after = fleet.worker_pids()
+        assert len(after) == 2 and stopped not in after
+        # And the replacement answers exactly through the shared port.
+        _, out = _rpc(fleet.port, {"op": "predict", "x": Xq.tolist()})
+        assert out["ok"]
+        np.testing.assert_allclose(out["y"], expect)
+
+
 @needs_fork
 def test_fleet_inherited_fd_mode(tmp_path, bcast_data, fitted):
     """The no-SO_REUSEPORT fallback serves from one inherited socket."""

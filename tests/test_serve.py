@@ -3,6 +3,8 @@ from __future__ import annotations
 
 import io
 import json
+import os
+import stat
 import threading
 import time
 
@@ -528,6 +530,64 @@ def test_registry_manifest_never_visible_half_written(tmp_path, fitted):
     assert reg.versions("m") == [1]  # no orphan v2 manifest
     assert reg.resolve("m").version == 1
     assert not list(reg._model_dir("m").glob("*.tmp"))
+
+
+def test_registry_torn_latest_manifest_falls_back(tmp_path, bcast_data, fitted):
+    """A manifest truncated on disk (torn write, partial copy) must not
+    take ``name@latest`` down: resolution skips it and serves the newest
+    readable predecessor.  Explicit versions still fail loudly."""
+    _, _, test = bcast_data
+    reg = ModelRegistry(tmp_path)
+    reg.publish("m", fitted)
+    reg.publish("m", fitted, meta={"tag": "v2"})
+    v2_manifest = reg._model_dir("m") / "v0002.json"
+    data = v2_manifest.read_bytes()
+    v2_manifest.write_bytes(data[: len(data) // 2])  # torn mid-file
+
+    fresh = ModelRegistry(tmp_path)
+    mv = fresh.resolve("m")
+    assert mv.version == 1
+    np.testing.assert_allclose(
+        fresh.load("m").predict(test.X[:4]), fitted.predict(test.X[:4])
+    )
+    with pytest.raises(KeyError):
+        fresh.resolve("m", version=2)
+    # The next publish claims v3 (numbering never reuses the torn slot)
+    # and latest resolution heals forward.
+    mv3 = fresh.publish("m", fitted)
+    assert mv3.version == 3
+    assert fresh.resolve("m").version == 3
+
+
+def test_registry_all_manifests_torn_raises(tmp_path, fitted):
+    reg = ModelRegistry(tmp_path)
+    reg.publish("m", fitted)
+    manifest = reg._model_dir("m") / "v0001.json"
+    manifest.write_bytes(manifest.read_bytes()[:10])
+    with pytest.raises(KeyError, match="no readable version"):
+        ModelRegistry(tmp_path).resolve("m")
+
+
+def test_atomic_write_fsyncs_file_and_directory(tmp_path, monkeypatch):
+    """The durability contract: temp-file fsync *before* the rename, a
+    directory fsync after — losing either reintroduces the crash window
+    where a visible manifest points at unwritten blocks."""
+    from repro.serve import registry as registry_mod
+
+    synced = []
+    real_fsync = os.fsync
+
+    def spy_fsync(fd):
+        # Record what kind of object each fsync covered.
+        synced.append("dir" if stat.S_ISDIR(os.fstat(fd).st_mode) else "file")
+        return real_fsync(fd)
+
+    monkeypatch.setattr(registry_mod.os, "fsync", spy_fsync)
+    target = tmp_path / "sub" / "manifest.json"
+    registry_mod._atomic_write_bytes(target, b'{"v": 1}')
+    assert target.read_bytes() == b'{"v": 1}'
+    assert synced == ["file", "dir"]  # both, in write-ahead order
+    assert not list(target.parent.glob("*.tmp"))  # nothing left behind
 
 
 def test_server_concurrent_predict_while_republishing(tmp_path, bcast_data):
