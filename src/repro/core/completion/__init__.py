@@ -10,7 +10,22 @@
   strictly positive factors; the paper's extrapolation model (Section 5.3).
 * :func:`complete_lm` — Levenberg-Marquardt over all factors at once, the
   historically first completion method the paper cites (Tomasi & Bro).
+
+The ALS/AMN hot loops dispatch their per-mode solves through the
+kernel-backend registry (:mod:`repro.core.completion.backends`):
+``reference`` (per-row loops), ``numpy_batched`` (vectorized plan-sharing
+path, alias ``"batched"``) and the optional JIT-compiled ``numba_jit``.
 """
+from repro.core.completion.backends import (
+    KernelBackend,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+    select_best,
+)
 from repro.core.completion.state import (
     CompletionResult,
     ModePlan,
@@ -53,4 +68,12 @@ __all__ = [
     "complete_sgd",
     "complete_amn",
     "OPTIMIZERS",
+    "KernelBackend",
+    "register_backend",
+    "get_backend",
+    "resolve_backend",
+    "select_best",
+    "backend_names",
+    "registered_backends",
+    "available_backends",
 ]

@@ -12,17 +12,17 @@ element-wise product of the other factors' rows).  Each row solve is an
 
 Implementation notes (hot path, vectorized per the hpc-parallel guides):
 
-* The default ``kernel="batched"`` path assembles *all* of a mode's
-  regularized normal systems at once: observations are grouped per row by
-  the fit-wide :class:`~repro.core.completion.state.ObservationPlan` (one
-  stable argsort per mode for the whole fit), the Khatri-Rao design block
-  is gathered directly in segment order into a reusable buffer, the ragged
-  per-row Gram matrices are reduced with one zero-padded batched GEMM, and
-  the ``(n_rows, R, R)`` stack is solved by a single batched LAPACK call.
-* ``kernel="reference"`` retains the seed's per-row loop (one ``argsort``
-  and one small solve per row per sweep) — the ground truth the
-  equivalence tests compare against, and the slow baseline the throughput
-  benchmark measures speedups over.
+* Mode updates are dispatched through the kernel-backend registry
+  (:mod:`repro.core.completion.backends`).  The default resolution picks
+  the fastest available backend; ``numpy_batched`` assembles *all* of a
+  mode's regularized normal systems at once (observations grouped per
+  row by the fit-wide :class:`~repro.core.completion.state.ObservationPlan`,
+  ragged per-row Gram matrices reduced with one zero-padded batched GEMM,
+  the ``(n_rows, R, R)`` stack solved by a single batched LAPACK call).
+* The ``reference`` backend retains the seed's per-row loop (one
+  ``argsort`` and one small solve per row per sweep) — the ground truth
+  the equivalence tests compare against, and the slow baseline the
+  throughput benchmark measures speedups over.
 * Rows with no observations are left at their current value (they are
   determined only by the prior/initialization, as in the paper's setup).
 """
@@ -31,19 +31,16 @@ from __future__ import annotations
 import numpy as np
 import scipy.linalg
 
+from repro.core.completion.backends import resolve_backend
 from repro.core.completion.objectives import ls_objective
 from repro.core.completion.state import (
     CompletionResult,
     ObservationPlan,
     init_factors,
-    khatri_rao_rows,
-    solve_batched_spd,
 )
 from repro.utils.rng import as_generator
 
-__all__ = ["complete_als", "als_update_mode", "KERNELS"]
-
-KERNELS = ("batched", "reference")
+__all__ = ["complete_als", "als_update_mode"]
 
 
 def _solve_rows(K, t, row_idx, n_rows, lam, out, scale_rows):
@@ -88,6 +85,8 @@ def _solve_rows_batched(plan, j, factors, t_sorted, lam, out, scale_rows):
     the plan's sorted layout and solves the whole stack with one batched
     LAPACK call; results overwrite the observed rows of ``out`` in place.
     """
+    from repro.core.completion.state import solve_batched_spd
+
     mp = plan.mode(j)
     if mp.n_obs == 0:
         return
@@ -136,28 +135,21 @@ def als_update_mode(
     j: int,
     lam: float,
     scale_rows: bool = True,
-    kernel: str = "batched",
+    kernel=None,
     plan: ObservationPlan | None = None,
 ) -> None:
     """One ALS mode update (in place): re-solve every row of ``U_j``.
 
-    ``kernel="batched"`` (default) uses the stacked segment-Gram path;
-    ``"reference"`` the retained per-row loop.  ``plan`` lets callers reuse
-    a fit-wide :class:`ObservationPlan` (built on the fly when omitted).
+    ``kernel`` is a backend name or :class:`KernelBackend` resolved
+    through :func:`repro.core.completion.backends.resolve_backend`
+    (``None`` picks the default).  ``plan`` lets plan-reuse backends
+    share a fit-wide :class:`ObservationPlan` (built on the fly when
+    omitted).
     """
-    if kernel == "reference":
-        K = khatri_rao_rows(factors, indices, skip=j)
-        _solve_rows(
-            K, values, indices[:, j], factors[j].shape[0], lam, factors[j], scale_rows
-        )
-        return
-    if kernel != "batched":
-        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
-    if plan is None:
-        plan = ObservationPlan([U.shape[0] for U in factors], indices)
-    _solve_rows_batched(
-        plan, j, factors, plan.sorted_values(values, j), lam, factors[j], scale_rows
-    )
+    backend = resolve_backend(kernel)
+    shape = [U.shape[0] for U in factors]
+    ctx = backend.prepare_als(shape, indices, values, plan=plan)
+    backend.als_update(ctx, factors, j, lam, scale_rows)
 
 
 def complete_als(
@@ -171,7 +163,7 @@ def complete_als(
     seed=None,
     factors: list | None = None,
     scale_rows: bool = True,
-    kernel: str = "batched",
+    kernel=None,
     plan: ObservationPlan | None = None,
 ) -> CompletionResult:
     """Fit a rank-``rank`` CP decomposition to observed entries with ALS.
@@ -196,15 +188,17 @@ def complete_als(
         ``False``: plain block coordinate descent on Eq. 3, whose
         ``history`` is then monotonically non-increasing.
     kernel
-        ``"batched"`` (default): loop-free stacked row solves sharing one
-        :class:`ObservationPlan` across sweeps.  ``"reference"``: the
-        per-row loop kept for equivalence testing and benchmarking.
+        Backend name or :class:`KernelBackend` instance; ``None``
+        resolves through the registry policy (``REPRO_KERNEL_BACKEND``
+        env, else the calibrated best — see
+        :mod:`repro.core.completion.backends`).
     plan
         Optional pre-built :class:`ObservationPlan` for ``(shape,
-        indices)`` (batched kernel only).  Streaming callers whose new
-        observations landed in already-observed cells pass the previous
-        fit's plan so the warm-start sweep reuses its argsorts and
-        buffers; a plan for a different observation set raises.
+        indices)``; honoured by backends with ``supports_plan_reuse``.
+        Streaming callers whose new observations landed in
+        already-observed cells pass the previous fit's plan so the
+        warm-start sweep reuses its argsorts and buffers; a plan for a
+        different observation set raises.
 
     Returns
     -------
@@ -221,38 +215,20 @@ def complete_als(
     d = len(shape)
     if d < 2:
         raise ValueError("tensor completion needs order >= 2")
-    if kernel not in KERNELS:
-        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    backend = resolve_backend(kernel)
     if factors is None:
         factors = init_factors(shape, rank, rng=as_generator(seed))
     else:
         # The buffered gathers require float64; coerce warm starts.
         factors = [np.asarray(U, dtype=float) for U in factors]
-    if kernel == "batched":
-        if plan is None:
-            plan = ObservationPlan(shape, indices)
-        elif not plan.matches(shape, indices):
-            raise ValueError(
-                "plan does not describe these observations; rebuild it "
-                "(ObservationPlan.extended) when the index set changes"
-            )
-        indices = plan.indices
-        t_sorted = [plan.sorted_values(values, j) for j in range(d)]
+    ctx = backend.prepare_als(shape, indices, values, plan=plan)
+    indices = ctx.indices
     history = [ls_objective(factors, indices, values, regularization)]
     converged = False
     sweeps = 0
     for sweep in range(max_sweeps):
         for j in range(d):
-            if kernel == "batched":
-                _solve_rows_batched(
-                    plan, j, factors, t_sorted[j], regularization,
-                    factors[j], scale_rows,
-                )
-            else:
-                als_update_mode(
-                    factors, indices, values, j, regularization, scale_rows,
-                    kernel="reference",
-                )
+            backend.als_update(ctx, factors, j, regularization, scale_rows)
         # Gauge fix: balancing column norms leaves the CP tensor unchanged
         # and weakly decreases the Frobenius penalty, so monotonicity of the
         # scale_rows=False history is preserved.
@@ -266,3 +242,8 @@ def complete_als(
     return CompletionResult(
         factors=factors, history=history, converged=converged, n_sweeps=sweeps
     )
+
+
+#: Plan-gating metadata the model layer consults (see
+#: ``CPRModel._run_completion``): this optimizer takes ``kernel``/``plan``.
+complete_als.accepts_kernel = True

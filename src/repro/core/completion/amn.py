@@ -27,16 +27,18 @@ interior-point practice (Nocedal & Wright).
 
 Implementation notes (hot path):
 
-* ``kernel="batched"`` (default) runs the damped Gauss-Newton iterations
-  for *all* rows of a mode simultaneously: residuals, gradients and the
-  stacked Gauss-Newton Hessians are segment reductions over the mode's
-  sorted observation block (one fit-wide
+* Mode updates are dispatched through the kernel-backend registry
+  (:mod:`repro.core.completion.backends`).  The ``numpy_batched``
+  backend runs the damped Gauss-Newton iterations for *all* rows of a
+  mode simultaneously: residuals, gradients and the stacked Gauss-Newton
+  Hessians are segment reductions over the mode's sorted observation
+  block (one fit-wide
   :class:`~repro.core.completion.state.ObservationPlan`, replacing the
   seed's per-mode argsort on every sweep of every barrier level), the
   ``(n_rows, R, R)`` systems are solved by one batched LAPACK call, and
   the fraction-to-the-boundary rule plus Armijo backtracking run under
   per-row masks that freeze rows as they converge or fail to improve.
-* ``kernel="reference"`` retains the seed's per-row Newton loop for
+* The ``reference`` backend retains the seed's per-row Newton loop for
   equivalence testing and benchmarking.
 """
 from __future__ import annotations
@@ -44,19 +46,17 @@ from __future__ import annotations
 import numpy as np
 import scipy.linalg
 
+from repro.core.completion.backends import resolve_backend
 from repro.core.completion.objectives import logq_objective
 from repro.core.completion.state import (
     CompletionResult,
     ObservationPlan,
     init_positive_factors,
-    khatri_rao_rows,
     solve_batched_spd,
 )
 from repro.utils.rng import as_generator
 
 __all__ = ["complete_amn"]
-
-_KERNELS = ("batched", "reference")
 
 _POS_FLOOR = 1e-12  # numerical floor keeping iterates strictly interior
 
@@ -230,7 +230,7 @@ def complete_amn(
     barrier_reduction: float = 8.0,
     barrier_min: float = 1e-11,
     newton_iters: int = 40,
-    kernel: str = "batched",
+    kernel=None,
     plan: ObservationPlan | None = None,
 ) -> CompletionResult:
     """Fit a strictly positive CP model by interior-point AMN.
@@ -247,13 +247,14 @@ def complete_amn(
     newton_iters
         Newton iteration cap per row subproblem (paper: 40).
     kernel
-        ``"batched"`` (default): all rows of a mode iterate together under
-        convergence masks, sharing one observation plan across every sweep
-        and barrier level.  ``"reference"``: the retained per-row loop.
+        Backend name or :class:`KernelBackend` instance; ``None``
+        resolves through the registry policy (``REPRO_KERNEL_BACKEND``
+        env, else the calibrated best — see
+        :mod:`repro.core.completion.backends`).
     plan
-        Optional pre-built :class:`ObservationPlan` (batched kernel only)
-        for streaming warm starts over an unchanged observation set; a
-        plan for different observations raises.
+        Optional pre-built :class:`ObservationPlan` (honoured by
+        plan-reuse backends) for streaming warm starts over an unchanged
+        observation set; a plan for different observations raises.
 
     Returns
     -------
@@ -273,8 +274,7 @@ def complete_amn(
     d = len(shape)
     if d < 2:
         raise ValueError("tensor completion needs order >= 2")
-    if kernel not in _KERNELS:
-        raise ValueError(f"kernel must be one of {_KERNELS}, got {kernel!r}")
+    backend = resolve_backend(kernel)
     lam = float(regularization)
     if factors is None:
         gmean = float(np.exp(np.mean(np.log(values))))
@@ -285,18 +285,11 @@ def complete_amn(
         # The buffered gathers require float64; coerce warm starts.
         factors = [np.asarray(U, dtype=float) for U in factors]
     logt = np.log(values)
-    if kernel == "batched":
-        # One argsort per mode for the whole fit, shared by every sweep of
-        # every barrier level (the seed re-sorted per mode per sweep).
-        if plan is None:
-            plan = ObservationPlan(shape, indices)
-        elif not plan.matches(shape, indices):
-            raise ValueError(
-                "plan does not describe these observations; rebuild it "
-                "(ObservationPlan.extended) when the index set changes"
-            )
-        logt_sorted = [plan.sorted_values(logt, j) for j in range(d)]
-
+    # Plan-reuse backends build (or validate) one argsort per mode for the
+    # whole fit, shared by every sweep of every barrier level (the seed
+    # re-sorted per mode per sweep).
+    ctx = backend.prepare_amn(shape, indices, logt, plan=plan)
+    indices = ctx.indices
     history = [logq_objective(factors, indices, values, lam)]
     eta = float(barrier_start)
     eta_floor = max(float(barrier_min), lam)
@@ -305,28 +298,9 @@ def complete_amn(
     while True:
         for _sweep in range(max_sweeps):
             for j in range(d):
-                if kernel == "batched":
-                    _newton_rows_batched(
-                        plan, j, factors, logt_sorted[j], lam, eta,
-                        newton_iters, tol,
-                    )
-                    continue
-                K = khatri_rao_rows(factors, indices, skip=j)
-                row_idx = indices[:, j]
-                order = np.argsort(row_idx, kind="stable")
-                sorted_rows = row_idx[order]
-                Ks = K[order]
-                ls = logt[order]
-                bounds = np.searchsorted(sorted_rows, np.arange(shape[j] + 1))
-                U = factors[j]
-                for i in range(shape[j]):
-                    lo, hi = bounds[i], bounds[i + 1]
-                    if lo == hi:
-                        continue
-                    U[i], _ = _newton_row(
-                        Ks[lo:hi], ls[lo:hi], U[i].copy(), lam, eta,
-                        newton_iters, tol,
-                    )
+                backend.amn_update(
+                    ctx, factors, j, lam, eta, newton_iters, tol
+                )
             sweeps += 1
             history.append(logq_objective(factors, indices, values, lam))
         if eta <= eta_floor:
@@ -337,3 +311,8 @@ def complete_amn(
     return CompletionResult(
         factors=factors, history=history, converged=converged, n_sweeps=sweeps
     )
+
+
+#: Plan-gating metadata the model layer consults (see
+#: ``CPRModel._run_completion``): this optimizer takes ``kernel``/``plan``.
+complete_amn.accepts_kernel = True

@@ -46,12 +46,15 @@ def complete_ccd(
     tol: float = 1e-6,
     seed=None,
     factors: list | None = None,
+    plan: ObservationPlan | None = None,
 ) -> CompletionResult:
     """Fit a CP decomposition by cyclic coordinate descent.
 
     Arguments mirror :func:`repro.core.completion.als.complete_als`; CCD
     typically needs more sweeps (hence the larger default) but each sweep
-    is a factor ``R`` cheaper.
+    is a factor ``R`` cheaper.  ``plan`` optionally reuses a fit-wide
+    :class:`ObservationPlan` (CCD only needs its observed-row masks, but
+    a warm-start caller avoids rebuilding them per update).
     """
     indices = np.asarray(indices, dtype=np.intp)
     values = np.asarray(values, dtype=float)
@@ -70,7 +73,13 @@ def complete_ccd(
     # from the shared plan instead of a bincount per (sweep, mode, rank).
     # (CCD's segmented sums are bincounts over *unsorted* indices, so only
     # the masks are needed — not the plan's sorted layouts.)
-    plan = ObservationPlan(shape, indices)
+    if plan is None:
+        plan = ObservationPlan(shape, indices)
+    elif not plan.matches(shape, indices):
+        raise ValueError(
+            "plan does not describe these observations; rebuild it "
+            "(ObservationPlan.extended) when the index set changes"
+        )
     observed = [plan.observed_mask(j) for j in range(d)]
 
     # Per-component contribution cache: comp[r] over observations.
@@ -125,3 +134,8 @@ def complete_ccd(
     return CompletionResult(
         factors=factors, history=history, converged=converged, n_sweeps=sweeps
     )
+
+
+# CCD has no pluggable kernel backends, but it can reuse the fit-wide
+# observation plan (see CPRModel._run_completion's capability gates).
+complete_ccd.accepts_plan = True

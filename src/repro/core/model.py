@@ -33,6 +33,7 @@ from repro.core.completion import (
     ObservationPlan,
     cp_eval,
     cp_size_bytes,
+    resolve_backend,
 )
 from repro.core.extrap import ModeExtrapolator
 from repro.core.grid import LogMode, TensorGrid, UniformMode
@@ -215,11 +216,32 @@ class CPRModel:
         kwargs = dict(self.opt_params)
         if warm_start:
             kwargs["factors"] = self.factors_
-        if (
-            self.optimizer in ("als", "amn")
-            and kwargs.get("kernel", "batched") == "batched"
-        ):
-            kwargs["plan"] = self._completion_plan(tensor)
+        if getattr(fn, "accepts_kernel", False):
+            # Resolve the kernel backend once per fit (env override >
+            # explicit config > calibrated best) and hand the optimizer
+            # the resolved object, so selection policy and manifest
+            # attribution cannot disagree.  Plan caching/reuse is gated
+            # on the backend's capability, not a name comparison: any
+            # plan-reuse backend gets the fit-wide ObservationPlan.
+            backend = resolve_backend(kwargs.pop("kernel", None))
+            kwargs["kernel"] = backend
+            if backend.supports_plan_reuse:
+                kwargs["plan"] = self._completion_plan(tensor)
+            if warm_start and not backend.supports_partial_fit:
+                # A backend without warm-start support refits cold.
+                kwargs.pop("factors", None)
+            self.fit_backend_ = backend.name
+        else:
+            if "kernel" in kwargs:
+                raise ValueError(
+                    f"optimizer {self.optimizer!r} has no kernel backends; "
+                    "the kernel option applies to als/amn only"
+                )
+            self.fit_backend_ = None
+            if getattr(fn, "accepts_plan", False):
+                # No backend, but the optimizer still reuses the
+                # fit-wide observation plan across warm starts.
+                kwargs["plan"] = self._completion_plan(tensor)
         self.result_ = fn(
             self.grid_.shape,
             tensor.indices,
@@ -448,6 +470,7 @@ class CPRModel:
             "order": self.grid_.order,
             "shape": list(self.grid_.shape),
             "out_of_domain": self.out_of_domain,
+            "fit_backend": getattr(self, "fit_backend_", None),
             "modes": modes,
         }
 
@@ -602,6 +625,10 @@ class CPRModel:
                 "cells": self.cells,
                 "scales": self.scales,
                 "opt_params": self.opt_params,
+                # Which kernel backend fitted the persisted factors —
+                # the serving layer surfaces this (manifest meta, engine
+                # stats) so a served prediction is attributable.
+                "fit_backend": getattr(self, "fit_backend_", None),
             },
         }
         if self.loss == "log_mse":
@@ -672,6 +699,7 @@ class CPRModel:
         m.cells = config.get("cells", list(m.grid_.shape))
         m.scales = config.get("scales")
         m.opt_params = dict(config.get("opt_params", {}))
+        m.fit_backend_ = config.get("fit_backend")
         return m
 
     @property
@@ -734,6 +762,9 @@ class TuckerModel(CPRModel):
     def _run_completion(self, tensor, targets, warm_start: bool) -> None:
         from repro.core.completion.tucker import complete_tucker
 
+        # The Tucker solver has no registered kernel backends (yet); its
+        # fits carry no backend attribution.
+        self.fit_backend_ = None
         # Warm starts re-run from the current state is not supported by the
         # Tucker solver; it refits (still cheap at these core sizes).
         self.result_ = complete_tucker(

@@ -154,6 +154,9 @@ class PredictionEngine:
             # zero-copy shared-memory attach, "local" for a plain
             # deserialized (per-process) copy.
             "source": getattr(model, "_served_from_", "local"),
+            # Which kernel backend fitted the active model (None for
+            # models without backend attribution, e.g. baselines).
+            "fit_backend": getattr(model, "fit_backend_", None),
             "batches": batches,
             "queries": queries,
             "total_seconds": total_s,

@@ -225,6 +225,13 @@ class ModelRegistry:
         mdir = self._model_dir(name)
         mdir.mkdir(parents=True, exist_ok=True)
         meta = dict(meta or {})
+        # Attribution: record which kernel backend fitted the published
+        # factors (models expose ``fit_backend_``; see
+        # repro.core.completion.backends).  One hook here covers every
+        # publisher — harness tune jobs, stream republishes, tests.
+        backend = getattr(model, "fit_backend_", None)
+        if backend is not None:
+            meta.setdefault("kernel_backend", backend)
         while True:
             version = self._latest_version_number(name) + 1
             record = {

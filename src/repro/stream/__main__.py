@@ -85,6 +85,11 @@ def main(argv=None) -> int:
                              "workers mid-stream")
     parser.add_argument("--serve-port", type=int, default=0,
                         help="fleet port with --serve-workers (0 = ephemeral)")
+    parser.add_argument("--kernel-backend", default=None, metavar="NAME",
+                        help="force this completion-kernel backend (see "
+                             "repro.core.completion.backends) for every "
+                             "stream (re)fit and any fleet worker; "
+                             "default: auto-select")
     parser.add_argument("--fault-plan", default=None, metavar="JSON|@FILE",
                         help="install a repro.faults FaultPlan (chaos runs): "
                              "inline JSON or @path/to/plan.json")
@@ -96,6 +101,16 @@ def main(argv=None) -> int:
         faults.install(faults.plan_from_arg(args.fault_plan))
     else:
         faults.install_from_env()
+
+    if args.kernel_backend is not None:
+        import os
+
+        from repro.core.completion.backends import ENV_VAR, get_backend
+
+        # Validate eagerly, then publish through the env override so the
+        # trainer's refits here *and* the forked fleet workers below all
+        # resolve to the same backend.
+        os.environ[ENV_VAR] = get_backend(args.kernel_backend).name
 
     app = get_application(args.app)
     name = args.name or f"{args.app}-stream"
@@ -110,7 +125,7 @@ def main(argv=None) -> int:
         exit_on_sigterm()
         fleet = ServeFleet(
             args.registry, workers=args.serve_workers, port=args.serve_port,
-            default_model=name,
+            default_model=name, kernel_backend=args.kernel_backend,
         ).start()
         # Our republishes reach the workers via the pack hook, not the
         # (slower) manifest watch: the next scored batch after a drift
@@ -201,6 +216,7 @@ def main(argv=None) -> int:
         f"partial={trainer_rec['partial']} refit={trainer_rec['refit']} "
         f"republished={summary['republished']} "
         f"versions={summary['published_versions']} "
+        f"backend={summary['kernel_backend']} "
         f"rolling_error={rolling if rolling is not None else float('nan'):.3f}"
     )
     return 0

@@ -217,6 +217,9 @@ class StreamSession:
         """JSON-serializable end-of-stream report."""
         return {
             "name": self.name,
+            "kernel_backend": getattr(
+                self.trainer.model, "fit_backend_", None
+            ),
             "n_observations": self.buffer.n_seen,
             "flushed": self.buffer.flushed,
             "resumed_from": self.resumed_from,

@@ -254,6 +254,8 @@ class IncrementalTrainer:
             "failed": self.n_failed,
             "degraded": self.degraded,
             "refit_reasons": dict(self.refit_reasons),
+            # Backend attribution of the live model's last (re)fit.
+            "kernel_backend": getattr(self.model, "fit_backend_", None),
         }
 
     def __repr__(self):

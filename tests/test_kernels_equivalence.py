@@ -1,11 +1,14 @@
-"""Batched vs reference completion kernels: exact-equivalence tests.
+"""Registered kernel backends vs reference: exact-equivalence tests.
 
-The batched ALS / AMN paths (segment-reduced Gram assembly, batched
-LAPACK solves, masked Gauss-Newton) must reproduce the retained per-row
-reference implementations to tight tolerance — same sweeps, same
-histories, same factors — across tensor orders, ragged observation
-multiplicities (including rows with *no* observations), and warm starts.
-See DESIGN.md, "Batched completion kernels".
+Every backend in the :mod:`repro.core.completion.backends` registry must
+reproduce the retained per-row ``reference`` backend to tight tolerance —
+same sweeps, same histories, same factors — across tensor orders, ragged
+observation multiplicities (including rows with *no* observations), warm
+starts, and the streaming ``partial_fit`` path.  The parametrization is
+registry-derived: registering a new backend automatically subjects it to
+this suite, and unavailable backends (e.g. ``numba_jit`` without numba
+installed) are skipped with their probe's reason, not silently dropped.
+See DESIGN.md, "Kernel backends".
 """
 import numpy as np
 import pytest
@@ -14,8 +17,10 @@ from repro.core.completion import (
     ObservationPlan,
     complete_als,
     complete_amn,
+    get_backend,
     init_factors,
     init_positive_factors,
+    registered_backends,
 )
 from repro.core.completion.als import als_update_mode
 
@@ -25,6 +30,25 @@ ORDERS = {
     4: (8, 5, 7, 4),
     5: (6, 4, 5, 3, 4),
 }
+
+
+def _backend_params(include_reference=False):
+    """One pytest param per registered backend, skip-marked if unavailable."""
+    params = []
+    for b in registered_backends():
+        if b.name == "reference" and not include_reference:
+            continue
+        marks = []
+        if not b.available():
+            marks.append(pytest.mark.skip(
+                reason=f"backend {b.name} unavailable: {b.unavailable_reason()}"
+            ))
+        params.append(pytest.param(b.name, marks=marks, id=b.name))
+    return params
+
+
+# Backends compared against the per-row reference (i.e. everything else).
+BACKENDS = _backend_params()
 
 
 def _ragged_observations(shape, seed, positive=False):
@@ -59,21 +83,22 @@ def _assert_factors_close(a, b, rtol=1e-8):
         )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("order", sorted(ORDERS))
 @pytest.mark.parametrize("scale_rows", [True, False])
 class TestALSEquivalence:
-    def test_full_fit_matches(self, order, scale_rows):
+    def test_full_fit_matches(self, order, scale_rows, backend):
         shape = ORDERS[order]
         idx, vals = _ragged_observations(shape, seed=order)
         kw = dict(rank=3, regularization=1e-5, max_sweeps=6, tol=0.0,
                   seed=7, scale_rows=scale_rows)
         ref = complete_als(shape, idx, vals, kernel="reference", **kw)
-        bat = complete_als(shape, idx, vals, kernel="batched", **kw)
+        bat = complete_als(shape, idx, vals, kernel=backend, **kw)
         _assert_factors_close(ref.factors, bat.factors)
         np.testing.assert_allclose(ref.history, bat.history, rtol=1e-9)
         assert ref.n_sweeps == bat.n_sweeps
 
-    def test_single_mode_update_matches(self, order, scale_rows):
+    def test_single_mode_update_matches(self, order, scale_rows, backend):
         shape = ORDERS[order]
         idx, vals = _ragged_observations(shape, seed=10 + order)
         for j in range(len(shape)):
@@ -82,36 +107,38 @@ class TestALSEquivalence:
             als_update_mode(ref, idx, vals, j, 1e-4, scale_rows,
                             kernel="reference")
             als_update_mode(bat, idx, vals, j, 1e-4, scale_rows,
-                            kernel="batched")
+                            kernel=backend)
             _assert_factors_close(ref, bat)
 
-    def test_warm_start_matches(self, order, scale_rows):
+    def test_warm_start_matches(self, order, scale_rows, backend):
         shape = ORDERS[order]
         idx, vals = _ragged_observations(shape, seed=20 + order)
         kw = dict(rank=2, regularization=1e-5, tol=0.0, seed=1,
                   scale_rows=scale_rows)
-        start = complete_als(shape, idx, vals, max_sweeps=3, **kw).factors
+        start = complete_als(shape, idx, vals, max_sweeps=3,
+                             kernel="reference", **kw).factors
         ref = complete_als(shape, idx, vals, max_sweeps=3, kernel="reference",
                            factors=[U.copy() for U in start], **kw)
-        bat = complete_als(shape, idx, vals, max_sweeps=3, kernel="batched",
+        bat = complete_als(shape, idx, vals, max_sweeps=3, kernel=backend,
                            factors=[U.copy() for U in start], **kw)
         _assert_factors_close(ref.factors, bat.factors)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("order", sorted(ORDERS))
 class TestAMNEquivalence:
-    def test_full_fit_matches(self, order):
+    def test_full_fit_matches(self, order, backend):
         shape = ORDERS[order]
         idx, vals = _ragged_observations(shape, seed=order, positive=True)
         kw = dict(rank=2, regularization=1e-5, max_sweeps=2, tol=1e-6,
                   seed=5, newton_iters=8, barrier_min=1e-2)
         ref = complete_amn(shape, idx, vals, kernel="reference", **kw)
-        bat = complete_amn(shape, idx, vals, kernel="batched", **kw)
+        bat = complete_amn(shape, idx, vals, kernel=backend, **kw)
         _assert_factors_close(ref.factors, bat.factors)
         np.testing.assert_allclose(ref.history, bat.history, rtol=1e-8)
         assert all(np.all(U > 0) for U in bat.factors)
 
-    def test_warm_start_matches(self, order):
+    def test_warm_start_matches(self, order, backend):
         shape = ORDERS[order]
         idx, vals = _ragged_observations(shape, seed=30 + order, positive=True)
         start = init_positive_factors(shape, 2, rng=np.random.default_rng(9),
@@ -120,11 +147,11 @@ class TestAMNEquivalence:
                   seed=0, newton_iters=6, barrier_min=1e-1)
         ref = complete_amn(shape, idx, vals, kernel="reference",
                            factors=[U.copy() for U in start], **kw)
-        bat = complete_amn(shape, idx, vals, kernel="batched",
+        bat = complete_amn(shape, idx, vals, kernel=backend,
                            factors=[U.copy() for U in start], **kw)
         _assert_factors_close(ref.factors, bat.factors)
 
-    def test_unobserved_rows_untouched(self, order):
+    def test_unobserved_rows_untouched(self, order, backend):
         shape = ORDERS[order]
         idx, vals = _ragged_observations(shape, seed=40 + order, positive=True)
         start = init_positive_factors(shape, 2, rng=np.random.default_rng(11),
@@ -132,6 +159,7 @@ class TestAMNEquivalence:
         frozen = start[0][shape[0] - 1].copy()
         res = complete_amn(shape, idx, vals, rank=2, max_sweeps=1,
                            newton_iters=4, barrier_min=1e-1, seed=0,
+                           kernel=backend,
                            factors=[U.copy() for U in start])
         np.testing.assert_array_equal(res.factors[0][shape[0] - 1], frozen)
 
@@ -164,11 +192,12 @@ class TestSkewFallback:
         assert not plan.mode(0).pad_feasible
         assert plan.mode(1).pad_feasible
 
-    def test_als_skewed_matches_reference(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_als_skewed_matches_reference(self, backend):
         shape, idx, vals = self._skewed_problem()
         kw = dict(rank=3, regularization=1e-5, max_sweeps=5, tol=0.0, seed=2)
         ref = complete_als(shape, idx, vals, kernel="reference", **kw)
-        bat = complete_als(shape, idx, vals, kernel="batched", **kw)
+        bat = complete_als(shape, idx, vals, kernel=backend, **kw)
         _assert_factors_close(ref.factors, bat.factors)
 
     def test_tucker_skewed_fits(self):
@@ -179,25 +208,28 @@ class TestSkewFallback:
         assert np.isfinite(res.history[-1])
         assert res.history[-1] <= res.history[0]
 
-    def test_amn_skewed_matches_reference(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_amn_skewed_matches_reference(self, backend):
         shape, idx, vals = self._skewed_problem(positive=True)
         kw = dict(rank=2, regularization=1e-5, max_sweeps=1, tol=1e-6,
                   seed=2, newton_iters=6, barrier_min=1e-1)
         ref = complete_amn(shape, idx, vals, kernel="reference", **kw)
-        bat = complete_amn(shape, idx, vals, kernel="batched", **kw)
+        bat = complete_amn(shape, idx, vals, kernel=backend, **kw)
         _assert_factors_close(ref.factors, bat.factors)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestPartialFitEquivalence:
-    """The streaming warm-start path must agree between kernels.
+    """The streaming warm-start path must agree across backends.
 
     ``partial_fit`` merges new measurements into the observed tensor and
-    runs a few warm-start sweeps from the current factors; the batched
-    path additionally reuses (or, when the observed index set changed,
-    rebuilds) the fit-wide observation plan.  Both paths must agree with
-    the per-row reference to 1e-8 after the update, including new rows
-    with ragged multiplicities and observations clipped into the grid's
-    boundary cells.
+    runs a few warm-start sweeps from the current factors; plan-reuse
+    backends additionally reuse (or, when the observed index set
+    changed, rebuild) the fit-wide observation plan.  Every backend must
+    agree with the per-row reference to 1e-8 after the update, including
+    new rows with ragged multiplicities and observations clipped into
+    the grid's boundary cells — this is the per-backend coverage of the
+    stream trainer's warm-start refits.
     """
 
     def _data(self, seed, n=300, lo=1.0, hi=64.0):
@@ -208,7 +240,7 @@ class TestPartialFitEquivalence:
         )
         return X, y
 
-    def _pair(self, loss):
+    def _pair(self, loss, backend):
         from repro.core import CPRModel
 
         kw = dict(cells=6, rank=2, seed=0, loss=loss)
@@ -216,14 +248,14 @@ class TestPartialFitEquivalence:
             kw.update(max_sweeps=1, newton_iters=6, barrier_min=1e-1)
         return (
             CPRModel(kernel="reference", **kw),
-            CPRModel(kernel="batched", **kw),
+            CPRModel(kernel=backend, **kw),
         )
 
     @pytest.mark.parametrize("loss", ["log_mse", "mlogq2"])
-    def test_partial_fit_known_cells_matches(self, loss):
+    def test_partial_fit_known_cells_matches(self, loss, backend):
         """New observations inside observed cells (plan reused verbatim)."""
         X, y = self._data(seed=0)
-        ref, bat = self._pair(loss)
+        ref, bat = self._pair(loss, backend)
         ref.fit(X, y)
         bat.fit(X, y)
         plan_before = bat._plan_
@@ -232,16 +264,18 @@ class TestPartialFitEquivalence:
         Xn, yn = X[:80], y[:80] * np.exp(gen.normal(0, 0.02, 80))
         ref.partial_fit(Xn, yn, max_sweeps=3)
         bat.partial_fit(Xn, yn, max_sweeps=3)
-        assert bat._plan_ is plan_before  # unchanged cells: buffers reused
+        if get_backend(backend).supports_plan_reuse:
+            # Unchanged cells: the fit-wide plan's buffers are reused.
+            assert bat._plan_ is plan_before
         _assert_factors_close(ref._factor_list(), bat._factor_list())
         q = self._data(seed=9, n=64)[0]
         np.testing.assert_allclose(bat.predict(q), ref.predict(q), rtol=1e-8)
 
     @pytest.mark.parametrize("loss", ["log_mse", "mlogq2"])
-    def test_partial_fit_ragged_new_rows_matches(self, loss):
+    def test_partial_fit_ragged_new_rows_matches(self, loss, backend):
         """New observations opening new cells/fibers, with heavy skew."""
         X, y = self._data(seed=2, lo=1.0, hi=8.0)  # initial: low corner only
-        ref, bat = self._pair(loss)
+        ref, bat = self._pair(loss, backend)
         # Widen the grid over the full range up front (the streaming
         # trainer's refit handles widening; partial_fit's contract is a
         # fixed grid), then feed updates concentrated on unseen rows.
@@ -256,14 +290,15 @@ class TestPartialFitEquivalence:
         plan_before = bat._plan_
         ref.partial_fit(Xn, yn, max_sweeps=3)
         bat.partial_fit(Xn, yn, max_sweeps=3)
-        assert bat._plan_ is not plan_before  # new cells: plan invalidated
+        if get_backend(backend).supports_plan_reuse:
+            assert bat._plan_ is not plan_before  # new cells: invalidated
         _assert_factors_close(ref._factor_list(), bat._factor_list())
 
     @pytest.mark.parametrize("loss", ["log_mse", "mlogq2"])
-    def test_partial_fit_grid_boundary_cells_match(self, loss):
+    def test_partial_fit_grid_boundary_cells_match(self, loss, backend):
         """Out-of-range updates clip into edge cells identically."""
         X, y = self._data(seed=6)
-        ref, bat = self._pair(loss)
+        ref, bat = self._pair(loss, backend)
         ref.fit(X, y)
         bat.fit(X, y)
         # Beyond both domain edges: clipped into the first/last cells.

@@ -84,7 +84,9 @@ def test_registry_publish_load_roundtrip(tmp_path, bcast_data, fitted):
     reg = ModelRegistry(tmp_path)
     mv = reg.publish("bcast", fitted, meta={"app": "bcast"})
     assert mv.version == 1 and mv.ref == "bcast@v1"
-    assert mv.meta == {"app": "bcast"}
+    # publish stamps the fitting kernel backend alongside caller meta
+    assert mv.meta == {"app": "bcast",
+                       "kernel_backend": fitted.fit_backend_}
     loaded = reg.load("bcast")
     np.testing.assert_allclose(loaded.predict(test.X), fitted.predict(test.X))
     assert "bcast" in reg and "nope" not in reg
