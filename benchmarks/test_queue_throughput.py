@@ -1,0 +1,163 @@
+"""Work-queue throughput and canary republish latency.
+
+Two questions the elastic runtime must answer with numbers:
+
+1. **Does the spool scale?**  A sweep of uniform jobs through the
+   work-queue executor with 1 worker vs 4 — the lease protocol (claim,
+   heartbeat, release, scan) is pure overhead, so the 4-worker wall
+   clock bounds how much of it the design pays.  Jobs are fixed-length
+   sleeps, so the ideal speedup is exactly 4x and every deviation is
+   queue overhead.
+2. **How fast does a promote become visible?**  While concurrent
+   streams republish into the same registry, a canary promote must flip
+   ``name@latest`` for *other* registry handles (other processes,
+   effectively) immediately — the explicit pointer-cache invalidation
+   this PR adds.  Measured as promote-call-to-foreign-visibility
+   latency under publish contention.
+
+Appends machine-readable records to ``results/BENCH_queue.json`` for
+the CI regression gate (``benchmarks/_compare.py``).
+"""
+import threading
+import time
+
+from repro.apps import Broadcast
+from repro.core import CPRModel
+from repro.datasets import generate_dataset
+from repro.runtime import JobSpec, WorkQueue
+from repro.serve import ModelRegistry
+
+from _report import perf_asserts_enabled, report, report_perf, run_once
+
+N_JOBS = 24
+JOB_SLEEP_S = 0.05
+PUBLISHER_THREADS = 4
+PROMOTE_CYCLES = 5
+
+
+def _sweep(tmp_root, workers: int) -> float:
+    """Wall clock for a fresh N_JOBS sweep on ``workers`` queue workers."""
+    queue = WorkQueue(
+        tmp_root / f"spool-{workers}", lease_ttl_s=5.0, poll_interval_s=0.01
+    )
+    specs = [
+        JobSpec("repro.runtime.queue:probe_job", {"value": i, "sleep_s": JOB_SLEEP_S})
+        for i in range(N_JOBS)
+    ]
+    keys = queue.submit(specs)
+    t0 = time.perf_counter()
+    procs = queue.spawn_workers(workers)
+    try:
+        queue.drain(keys, workers=procs, timeout_s=300.0)
+    finally:
+        for p in procs:
+            p.terminate()
+            p.join(timeout=10)
+    elapsed = time.perf_counter() - t0
+    assert all(queue.cache.get(s) == {"value": i} for i, s in enumerate(specs))
+    return elapsed
+
+
+def _promote_latency(tmp_root) -> dict:
+    """Median promote-to-foreign-visibility latency under publish load."""
+    root = tmp_root / "registry"
+    writer = ModelRegistry(root)
+    app = Broadcast()
+    train = generate_dataset(app, 192, seed=0)
+
+    def fit(seed):
+        return CPRModel(
+            space=app.space, cells=4, rank=2, seed=seed, max_sweeps=5
+        ).fit(train.X, train.y)
+
+    incumbent = fit(0)
+    writer.publish("canary", incumbent)
+    stop = threading.Event()
+    publishes = [0] * PUBLISHER_THREADS
+
+    def churn(i):
+        # Concurrent streams republishing their own names into the same
+        # registry directory — the contention a fleet driver produces.
+        reg = ModelRegistry(root)
+        model = fit(i + 1)
+        while not stop.is_set():
+            reg.publish(f"stream-{i}", model)
+            publishes[i] += 1
+
+    threads = [
+        threading.Thread(target=churn, args=(i,), daemon=True)
+        for i in range(PUBLISHER_THREADS)
+    ]
+    for t in threads:
+        t.start()
+
+    latencies = []
+    try:
+        for cycle in range(PROMOTE_CYCLES):
+            shadow = fit(100 + cycle)
+            mv = writer.publish("canary", shadow, channel="shadow")
+            observer = ModelRegistry(root)  # a foreign handle: cold caches
+            t0 = time.perf_counter()
+            writer.promote("canary")
+            while observer.resolve("canary").version != mv.version:
+                time.sleep(0.0005)
+            latencies.append(time.perf_counter() - t0)
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+    latencies.sort()
+    return {
+        "config": "republish_latency",
+        "publisher_threads": PUBLISHER_THREADS,
+        "background_publishes": sum(publishes),
+        "promote_cycles": PROMOTE_CYCLES,
+        "promote_visible_ms_median": round(
+            1e3 * latencies[len(latencies) // 2], 3
+        ),
+        "promote_visible_ms_max": round(1e3 * latencies[-1], 3),
+    }
+
+
+def _run(tmp_root):
+    t1 = _sweep(tmp_root, 1)
+    t4 = _sweep(tmp_root, 4)
+    queue_rec = {
+        "config": "queue_throughput",
+        "jobs": N_JOBS,
+        "job_sleep_s": JOB_SLEEP_S,
+        "sweep_1worker_s": round(t1, 4),
+        "sweep_4worker_s": round(t4, 4),
+        "jobs_per_s_1w": round(N_JOBS / t1, 2),
+        "jobs_per_s_4w": round(N_JOBS / t4, 2),
+        "parallel_speedup": round(t1 / t4, 2),
+    }
+    return [queue_rec, _promote_latency(tmp_root)]
+
+
+def test_queue_throughput(benchmark, tmp_path):
+    records = run_once(benchmark, _run, tmp_root=tmp_path)
+    q, lat = records
+    report("queue_throughput", {
+        "headers": ["metric", "value"],
+        "rows": [
+            ["1-worker sweep (s)", q["sweep_1worker_s"]],
+            ["4-worker sweep (s)", q["sweep_4worker_s"]],
+            ["jobs/s @ 1 worker", q["jobs_per_s_1w"]],
+            ["jobs/s @ 4 workers", q["jobs_per_s_4w"]],
+            ["parallel speedup", q["parallel_speedup"]],
+            ["promote visible (ms, median)", lat["promote_visible_ms_median"]],
+            ["promote visible (ms, max)", lat["promote_visible_ms_max"]],
+        ],
+        "notes": "4 workers approach 4x on sleep-bound jobs; promote "
+                 "flips are visible to foreign handles in milliseconds",
+    })
+    report_perf("queue", records)
+
+    if not perf_asserts_enabled():
+        return
+    # The lease protocol must not eat the parallelism it exists to buy.
+    assert q["parallel_speedup"] >= 2.0, q
+    # Explicit invalidation: visibility is bounded by the poll sleep,
+    # not by the 50ms mtime settle window.
+    assert lat["promote_visible_ms_median"] < 250.0, lat

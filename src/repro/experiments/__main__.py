@@ -22,6 +22,13 @@ Runtime flags (see :mod:`repro.runtime` and DESIGN.md "Runtime & caching"):
     stopped), and editing a grid/seed/scale invalidates exactly the jobs
     it changes.  A ``[runtime]`` line per driver reports the hit/executed
     split.
+``--queue DIR --queue-workers N``
+    Elastic work-queue mode: specs are spooled under ``DIR`` and claimed
+    by ``N`` lease-holding worker processes (heartbeats + stale-lease
+    reclaim — a SIGKILLed worker's jobs are re-run by its peers, and
+    extra workers on any host sharing ``DIR`` may join mid-sweep).
+    Results are ordinary cache records, byte-identical to a sequential
+    run of the same specs.
 """
 from __future__ import annotations
 
@@ -83,11 +90,31 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="content-addressed job result cache; completed "
                              "jobs are skipped on re-runs")
+    parser.add_argument("--queue", type=Path, default=None, metavar="DIR",
+                        help="work-queue spool directory: jobs are claimed by "
+                             "lease-holding queue workers instead of a local "
+                             "process pool (results land in --cache-dir, or "
+                             "DIR/results)")
+    parser.add_argument("--queue-workers", type=int, default=2, metavar="N",
+                        help="local worker processes to spawn over the queue "
+                             "spool (more may join from other hosts)")
+    parser.add_argument("--queue-lease-ttl", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="heartbeat TTL before a dead worker's lease is "
+                             "reclaimed by a peer")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.queue_workers < 1:
+        parser.error("--queue-workers must be >= 1")
 
-    runtime = Runtime(jobs=args.jobs, cache_dir=args.cache_dir)
+    runtime = Runtime(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        queue_dir=args.queue,
+        queue_workers=args.queue_workers,
+        queue_lease_ttl_s=args.queue_lease_ttl,
+    )
     names = list(DRIVERS) if args.experiment == "all" else [args.experiment]
     for name in names:
         hits0, executed0 = runtime.snapshot()
@@ -101,9 +128,14 @@ def main(argv=None) -> int:
             print(f"(expected shape: {result['notes']})")
         hits = runtime.hits - hits0
         executed = runtime.executed - executed0
+        where = (
+            f"queue={args.queue}, workers={runtime.queue_workers}"
+            if args.queue is not None
+            else f"jobs={runtime.jobs}"
+        )
         print(
             f"[runtime] {name}: {hits + executed} jobs, {hits} cache hits, "
-            f"{executed} executed (jobs={runtime.jobs})"
+            f"{executed} executed ({where})"
         )
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)

@@ -15,7 +15,11 @@ Two halves, deliberately in one package:
 ``tests/test_chaos.py`` is the consumer contract: every tier-1 serving/
 streaming/runtime invariant replayed under every injected fault class.
 See DESIGN.md ("Failure model & recovery") for the site catalog and the
-recovery semantics each site is guarded by.
+recovery semantics each site is guarded by.  The work-queue executor
+adds the ``queue.claim`` / ``queue.heartbeat`` / ``queue.reclaim``
+sites (lease acquisition, keep-alive, and stale-lease takeover), whose
+guarded invariant is the queue's purity contract: a fired fault may
+duplicate or delay a job, never lose or corrupt its cache record.
 """
 from repro.faults.plan import (
     ENV_VAR,

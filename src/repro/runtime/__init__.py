@@ -16,6 +16,13 @@ re-fitted per figure.  This package turns that workload into declarative
     Sequential or process-pool executor with deterministic per-job
     seeding and per-worker dataset reuse (workers share the harness's
     process-local dataset cache).
+:class:`~repro.runtime.queue.WorkQueue`
+    Elastic work-queue executor: specs are spooled to a shared
+    directory, and any number of worker processes (local or on other
+    hosts sharing the filesystem) claim them via O_CREAT|O_EXCL lease
+    files with heartbeat + stale-lease reclaim.  ``Runtime(queue_dir=,
+    queue_workers=)`` and ``python -m repro.experiments --queue DIR
+    --queue-workers N`` run whole sweeps through it.
 
 Figure drivers build job lists (``build_jobs``) and submit them through
 :func:`~repro.runtime.executor.execute`; ``python -m repro.experiments``
@@ -27,6 +34,7 @@ other sweep.
 """
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import Runtime, execute
+from repro.runtime.queue import WorkQueue, run_queue_worker
 from repro.runtime.spec import CACHE_SCHEMA_VERSION, JobSpec, canonical, to_jsonable
 
 __all__ = [
@@ -34,7 +42,9 @@ __all__ = [
     "JobSpec",
     "ResultCache",
     "Runtime",
+    "WorkQueue",
     "canonical",
     "execute",
+    "run_queue_worker",
     "to_jsonable",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
 
 import numpy as np
 
@@ -101,6 +102,20 @@ class Runtime:
         job's slot in the results list stays ``None``, and the rest of
         the sweep completes — one poison job no longer discards an
         afternoon of finished (and cached) work.
+    queue_dir, queue_workers
+        Elastic work-queue mode (see :mod:`repro.runtime.queue`): pending
+        specs are spooled under ``queue_dir`` and executed by
+        ``queue_workers`` claimed-lease worker processes instead of a
+        process pool.  Results land in the same :class:`ResultCache`
+        (``cache_dir`` if given, else ``<queue_dir>/results``), so
+        resume/caching semantics are unchanged — a queue sweep and a
+        sequential sweep of the same specs produce byte-identical
+        records.  Extra workers may join the same spool from other
+        processes or hosts at any time.
+    queue_lease_ttl_s
+        Heartbeat TTL for queue leases; a worker SIGKILLed mid-job stops
+        heartbeating, and after this many seconds a surviving worker
+        reclaims and re-runs the job (idempotently).
 
     ``hits``/``executed`` count cache hits and actually-run jobs across
     the runtime's lifetime; :meth:`snapshot` lets callers report per-sweep
@@ -115,8 +130,16 @@ class Runtime:
         retries: int = 2,
         retry_delay_s: float = 0.05,
         quarantine: bool = False,
+        queue_dir=None,
+        queue_workers: int = 2,
+        queue_lease_ttl_s: float = 10.0,
     ):
         self.jobs = max(int(jobs), 1)
+        self.queue_dir = queue_dir
+        self.queue_workers = max(int(queue_workers), 1)
+        self.queue_lease_ttl_s = float(queue_lease_ttl_s)
+        if cache_dir is None and queue_dir is not None:
+            cache_dir = Path(queue_dir) / "results"
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.on_result = on_result
         self.retries = max(int(retries), 0)
@@ -161,6 +184,10 @@ class Runtime:
             else:
                 pending.append(i)
         if not pending:
+            return results
+
+        if self.queue_dir is not None:
+            self._run_queued(specs, pending, results)
             return results
 
         items = [
@@ -211,6 +238,48 @@ class Runtime:
             if failure is not None:
                 raise failure
         return results
+
+    def _run_queued(self, specs: list, pending: list, results: list) -> None:
+        """Execute the pending slots through a spooled work queue.
+
+        The driver submits, spawns local workers, and waits for the spool
+        to drain; results are read back from the shared cache (the same
+        records a worker on another host would have pushed).  A failed
+        job either quarantines or raises, mirroring the in-process paths.
+        """
+        from repro.runtime.queue import WorkQueue
+
+        queue = WorkQueue(
+            self.queue_dir, cache=self.cache, lease_ttl_s=self.queue_lease_ttl_s
+        )
+        keys = queue.submit(specs[i] for i in pending)
+        workers = queue.spawn_workers(self.queue_workers)
+        try:
+            queue.drain(keys, workers=workers)
+        finally:
+            for worker in workers:
+                worker.join(timeout=10.0)
+                if worker.is_alive():  # pragma: no cover - wedged worker
+                    worker.terminate()
+        failures = queue.failures()
+        failure = None
+        for i in pending:
+            spec = specs[i]
+            record = self.cache.get(spec)
+            if record is not None:
+                results[i] = record
+                self.executed += 1
+                if self.on_result is not None:
+                    self.on_result(spec, record)
+                continue
+            error = failures.get(spec.key, {}).get("error", "no result record")
+            exc = RuntimeError(f"queue job {spec.describe()} failed: {error}")
+            if self.quarantine:
+                self.quarantined.append((spec, exc))
+            elif failure is None:
+                failure = exc
+        if failure is not None:
+            raise failure
 
     def __repr__(self):
         where = self.cache.root if self.cache is not None else None

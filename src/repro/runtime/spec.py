@@ -24,7 +24,13 @@ from importlib import import_module
 
 import numpy as np
 
-__all__ = ["CACHE_SCHEMA_VERSION", "JobSpec", "canonical", "resolve_runner", "to_jsonable"]
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "JobSpec",
+    "canonical",
+    "resolve_runner",
+    "to_jsonable",
+]
 
 #: Bump to invalidate every cached record (e.g. after a semantic change to
 #: dataset generation or model fitting that job params cannot capture).

@@ -2,12 +2,28 @@
 
 Layout (everything under one registry root directory)::
 
-    objects/<sha256>.pkl        # model blobs, named by digest of their bytes
-    models/<name>/v<NNNN>.json  # version manifests: {"digest", "meta", ...}
+    objects/<sha256>.pkl          # model blobs, named by digest of their bytes
+    models/<name>/v<NNNN>.json    # version manifests: {"digest", "meta", ...}
+    models/<name>/channels.json   # optional channel pointers: latest / shadow
+    models/<name>/history.jsonl   # promote / rollback / shadow audit trail
 
 Blobs are immutable and deduplicated: publishing the same fitted model
 twice stores one object and two manifests.  Version numbers are dense
-integers starting at 1; "latest" is simply the highest number present.
+integers starting at 1; "latest" is simply the highest number present —
+*until* a canary trial pins it.
+
+Channels (canary / shadow republish)
+------------------------------------
+``publish(..., channel="shadow")`` claims the next dense version as any
+publish does, but points the **shadow** channel at it instead of
+advancing ``latest`` — and pins ``latest`` at the incumbent, so readers
+resolving ``name`` keep getting the proven model while the candidate is
+scored on live traffic.  :meth:`ModelRegistry.promote` flips ``latest``
+to the shadow version (the canary won); :meth:`ModelRegistry.rollback`
+clears the shadow pointer and records the loser in ``history.jsonl``
+(the version and its blob stay on disk for post-mortems — they are just
+never served as latest).  Names that never shadow-publish have no
+``channels.json`` and behave exactly as before.
 
 Concurrency model
 -----------------
@@ -154,6 +170,14 @@ class ModelRegistry:
         # memoized forever; the LRU bound only caps memory under heavy
         # republish churn.
         self._manifests: OrderedDict[tuple[str, int], ModelVersion] = OrderedDict()
+        # Channel-pointer cache: name -> (channels.json st_mtime_ns, state).
+        # Same discipline as the latest-pointer cache (stat every call,
+        # rescan on mtime movement, memoize only settled stamps) — plus
+        # *explicit* invalidation on every local promote/rollback/shadow
+        # write: a flip must be visible on the very next resolve, not
+        # after an mtime tick (coarse-granularity filesystems can reuse
+        # a stamp for writes landing within the same tick).
+        self._channels: dict[str, tuple[int, dict]] = {}
         (self.root / "objects").mkdir(parents=True, exist_ok=True)
         (self.root / "models").mkdir(parents=True, exist_ok=True)
 
@@ -196,7 +220,9 @@ class ModelRegistry:
 
     # -- publishing ------------------------------------------------------------
 
-    def publish(self, name: str, model, meta: dict | None = None) -> ModelVersion:
+    def publish(
+        self, name: str, model, meta: dict | None = None, channel: str | None = None
+    ) -> ModelVersion:
         """Store ``model`` as the next version of ``name``; return the pointer.
 
         The blob write is idempotent (same bytes -> same object file).  The
@@ -206,8 +232,24 @@ class ModelRegistry:
         temp file, so concurrent publishers of the same name each get a
         distinct version and no reader can ever observe a partial or
         corrupt manifest as "latest".
+
+        ``channel="shadow"`` publishes the version *without* making it
+        latest: the latest pointer is pinned at the incumbent (which must
+        exist — a canary needs something to beat) and the shadow pointer
+        is set to the new version, to be resolved via ``name@shadow``
+        until :meth:`promote` or :meth:`rollback` ends the trial.
         """
         self._check_name(name)
+        if channel not in (None, "latest", "shadow"):
+            raise ValueError(
+                f"unknown publish channel {channel!r}: want 'latest' or 'shadow'"
+            )
+        incumbent = self._effective_latest(name) if channel == "shadow" else 0
+        if channel == "shadow" and incumbent == 0:
+            raise ValueError(
+                f"cannot shadow-publish {name!r}: no incumbent version to pin "
+                "as latest (publish normally first)"
+            )
         data = dumps_model(model)
         digest = hashlib.sha256(data).hexdigest()
         obj_path = self._object_path(digest)
@@ -264,6 +306,21 @@ class ModelRegistry:
             # than guessing (a concurrent publisher may already have
             # claimed a higher version under the post-claim mtime).
             self._invalidate_latest(name)
+            if channel == "shadow":
+                state = self._read_channels_fresh(name)
+                if state.get("latest") is None:
+                    state["latest"] = incumbent
+                state["shadow"] = version
+                self._write_channels(
+                    name, state, event="shadow", version=version
+                )
+            elif (self._model_dir(name) / "channels.json").exists():
+                # Once a name has channel pointers, a plain publish must
+                # advance the pinned latest too — otherwise new versions
+                # would be invisible behind a stale pin.
+                state = self._read_channels_fresh(name)
+                state["latest"] = version
+                self._write_channels(name, state, event="publish", version=version)
             mv = ModelVersion(
                 name, version, digest, record["created"], record["meta"]
             )
@@ -273,7 +330,149 @@ class ModelRegistry:
                 hook(mv)
             return mv
 
+    # -- channels (canary / shadow) --------------------------------------------
+
+    def _channels_path(self, name: str) -> Path:
+        return self._model_dir(name) / "channels.json"
+
+    def _read_channels_fresh(self, name: str) -> dict:
+        """The channel state straight from disk (mutation paths only —
+        a stale cached read here could resurrect a cleared pointer)."""
+        try:
+            state = json.loads(self._channels_path(name).read_text())
+        except (OSError, ValueError):
+            return {}
+        return state if isinstance(state, dict) else {}
+
+    def _channel_state(self, name: str) -> dict:
+        """The (possibly cached) channel-pointer state; ``{}`` when the
+        name has never shadow-published (the implicit-latest fast path:
+        one extra ``stat`` miss per resolve, nothing else)."""
+        path = self._channels_path(name)
+        try:
+            stamp = path.stat().st_mtime_ns
+        except (FileNotFoundError, NotADirectoryError):
+            with self._lock:
+                self._channels.pop(name, None)
+            return {}
+        with self._lock:
+            cached = self._channels.get(name)
+            if cached is not None and cached[0] == stamp:
+                return cached[1]
+        state = self._read_channels_fresh(name)
+        # Same settle-window rule as the latest-pointer cache: never
+        # memoize a stamp young enough that a same-tick rewrite could
+        # reuse it (see _latest_version_number).
+        if time.time_ns() - stamp > _MTIME_SETTLE_NS:
+            with self._lock:
+                self._channels[name] = (stamp, state)
+        return state
+
+    def _invalidate_channels(self, name: str) -> None:
+        with self._lock:
+            self._channels.pop(name, None)
+
+    def _write_channels(self, name: str, state: dict, event: str, **extra) -> None:
+        """Atomically rewrite the channel pointers + append the audit line.
+
+        Ends with *explicit* cache invalidation — the flip must be
+        visible to this process's next resolve immediately, not after
+        the filesystem's mtime granularity catches up (the stale-pin
+        window a promote landing within one mtime tick used to have).
+        """
+        payload = json.dumps(
+            {k: state.get(k) for k in ("latest", "shadow")}, indent=1
+        )
+        _atomic_write_bytes(self._channels_path(name), payload.encode("utf-8"))
+        entry = {"event": event, "time": time.time(), **extra}
+        try:
+            with (self._model_dir(name) / "history.jsonl").open("a") as fh:
+                fh.write(json.dumps(entry) + "\n")
+        except OSError:  # pragma: no cover - audit trail is best-effort
+            pass
+        self._invalidate_channels(name)
+        self._invalidate_latest(name)
+
+    def promote(self, name: str, version: int | None = None) -> ModelVersion:
+        """Flip ``name@latest`` to the shadow version (the canary won).
+
+        ``version`` overrides the shadow pointer (promoting an arbitrary
+        historical version is also how an operator pins a known-good
+        build).  The manifest must be readable — a promote can never
+        point latest at a version that cannot be served.  Clears the
+        shadow pointer when it was the promoted version, appends a
+        ``promote`` audit entry, and explicitly invalidates the pointer
+        caches so the flip is visible to the very next resolve.
+        """
+        self._check_name(name)
+        state = self._read_channels_fresh(name)
+        if version is None:
+            version = state.get("shadow")
+        if version is None:
+            raise KeyError(f"no shadow version of {name!r} to promote")
+        mv = self._read_manifest(name, int(version))
+        state["latest"] = mv.version
+        if state.get("shadow") == mv.version:
+            state["shadow"] = None
+        self._write_channels(name, state, event="promote", version=mv.version)
+        return mv
+
+    def rollback(self, name: str, reason: str = "") -> int:
+        """Clear the shadow pointer (the canary lost); return the loser.
+
+        The losing version and its blob remain on disk for post-mortems
+        — recorded in ``history.jsonl`` with ``reason`` — but nothing
+        resolves to them short of an explicit ``name@vN`` request.
+        """
+        self._check_name(name)
+        state = self._read_channels_fresh(name)
+        loser = state.get("shadow")
+        if loser is None:
+            raise KeyError(f"no shadow version of {name!r} to roll back")
+        state["shadow"] = None
+        self._write_channels(
+            name, state, event="rollback", version=int(loser), reason=reason
+        )
+        return int(loser)
+
+    def channels(self, name: str) -> dict:
+        """The current channel pointers: ``{"latest": N|None, "shadow": N|None}``.
+
+        ``latest: None`` means the implicit rule (highest version) is in
+        effect — the name never entered a canary trial.
+        """
+        self._check_name(name)
+        state = self._channel_state(name)
+        return {"latest": state.get("latest"), "shadow": state.get("shadow")}
+
+    def history(self, name: str) -> list[dict]:
+        """Audit entries (shadow publishes, promotes, rollbacks), oldest first."""
+        self._check_name(name)
+        try:
+            text = (self._model_dir(name) / "history.jsonl").read_text()
+        except OSError:
+            return []
+        out = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn final line: same tolerance as the journal
+        return out
+
     # -- resolution ------------------------------------------------------------
+
+    def _effective_latest(self, name: str) -> int:
+        """What ``name`` (unversioned) resolves to: the pinned latest
+        pointer when a canary trial created one, else the highest
+        published version."""
+        state = self._channel_state(name)
+        pinned = state.get("latest")
+        if pinned is not None:
+            return int(pinned)
+        return self._latest_version_number(name)
 
     def _version_numbers(self, name: str) -> list[int]:
         mdir = self._model_dir(name)
@@ -359,14 +558,23 @@ class ModelRegistry:
                 self._manifests.popitem(last=False)
         return mv
 
-    def resolve(self, name: str, version: int | None = None) -> ModelVersion:
+    def resolve(
+        self, name: str, version: int | None = None, channel: str | None = None
+    ) -> ModelVersion:
         """The :class:`ModelVersion` for ``name`` (latest when unversioned).
 
         Resolution is the freshness point of the registry: the latest
         pointer is re-checked against the manifest directory's mtime on
         every call, so a republish (from any process) is visible on the
         next resolve.  Only immutable state is memoized — claimed
-        manifests and content-addressed blobs.
+        manifests and content-addressed blobs — and channel flips
+        (promote/rollback) additionally invalidate explicitly, so a
+        canary decision is visible to the next resolve in-process even
+        inside one filesystem mtime tick.
+
+        ``channel="shadow"`` resolves the in-trial candidate (the
+        server-side ``name@shadow`` reference); a ``KeyError`` when no
+        trial is running.  An explicit ``version`` overrides channels.
 
         A torn or partial manifest under ``name@latest`` (a publisher
         crashed mid-claim on a filesystem that let the link outlive its
@@ -380,7 +588,16 @@ class ModelRegistry:
         self._check_name(name)
         if version is not None:
             return self._read_manifest(name, int(version))
-        latest = self._latest_version_number(name)
+        if channel not in (None, "latest", "shadow"):
+            raise ValueError(
+                f"unknown channel {channel!r}: want 'latest' or 'shadow'"
+            )
+        if channel == "shadow":
+            shadow = self._channel_state(name).get("shadow")
+            if shadow is None:
+                raise KeyError(f"no shadow version of model {name!r}")
+            return self._read_manifest(name, int(shadow))
+        latest = self._effective_latest(name)
         if latest == 0:
             raise KeyError(f"no model published under {name!r}")
         try:

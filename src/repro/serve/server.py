@@ -384,22 +384,29 @@ class ModelServer:
 
     @staticmethod
     def _split_ref(ref: str) -> tuple:
-        """``"name@vN"`` / ``"name@N"`` -> (name, N); bare names -> (name, None)."""
+        """``"name@vN"`` / ``"name@N"`` -> ``(name, N, None)``; channel refs
+        ``"name@latest"`` / ``"name@shadow"`` -> ``(name, None, channel)``;
+        bare names -> ``(name, None, None)``."""
         name, sep, ver = str(ref).partition("@")
         if not sep:
-            return name, None
+            return name, None, None
+        if ver in ("latest", "shadow"):
+            return name, None, ver
         ver = ver[1:] if ver[:1] in ("v", "V") else ver
         try:
-            return name, int(ver)
+            return name, int(ver), None
         except ValueError:
-            raise ValueError(f"bad model reference {ref!r}: want name@vN") from None
+            raise ValueError(
+                f"bad model reference {ref!r}: want name@vN, name@latest, "
+                "or name@shadow"
+            ) from None
 
     def engine_for(self, ref, version=None) -> PredictionEngine:
         """The (LRU-cached) engine for a model reference, resolved fresh."""
-        name, ref_version = self._split_ref(ref)
+        name, ref_version, channel = self._split_ref(ref)
         if version is None:
             version = ref_version
-        mv = self.registry.resolve(name, version)
+        mv = self.registry.resolve(name, version, channel=channel)
         key = (mv.name, mv.version, mv.digest)
         with self._lock:
             engine = self._engines.get(key)

@@ -25,23 +25,37 @@ model meaningfully changed.
     Orchestrates buffer + trainer + monitor against a
     :class:`~repro.serve.ModelRegistry`: refits auto-republish a new
     version, which a live :class:`~repro.serve.ModelServer` picks up on
-    its next ``name@latest`` resolution — no restart.
+    its next ``name@latest`` resolution — no restart.  With
+    ``canary=True`` a refit publishes to ``name@shadow`` instead and a
+    :class:`~repro.stream.canary.ShadowTrial` gates the pointer flip on
+    live prequential MLogQ (losers are rolled back).
+:class:`~repro.stream.fleet.MultiStreamDriver`
+    Many concurrent sessions — a fleet of (optionally drifting)
+    applications — publishing into one shared registry.
 
 ``python -m repro.stream`` replays any ``repro.apps`` application as a
-timed observation stream against a live in-process server; see DESIGN.md
-("Streaming") for the journal layout and refit policy.
+timed observation stream against a live in-process server (or, with
+``--streams``, a whole drifting fleet); see DESIGN.md ("Streaming" and
+"Elastic runtime & canary republish") for the journal layout, refit
+policy, and shadow-scoring gate.
 """
 from repro.stream.buffer import ObservationBuffer
+from repro.stream.canary import ShadowTrial
 from repro.stream.drift import DriftMonitor
+from repro.stream.fleet import DriftingApplication, MultiStreamDriver, StreamTask
 from repro.stream.pipeline import StreamSession, replay_application
 from repro.stream.runner import run_stream_job, stream_job_spec
 from repro.stream.trainer import IncrementalTrainer
 
 __all__ = [
     "DriftMonitor",
+    "DriftingApplication",
     "IncrementalTrainer",
+    "MultiStreamDriver",
     "ObservationBuffer",
+    "ShadowTrial",
     "StreamSession",
+    "StreamTask",
     "replay_application",
     "run_stream_job",
     "stream_job_spec",

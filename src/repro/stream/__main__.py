@@ -10,10 +10,20 @@ without restarting.  With ``--journal`` the stream is resumable: rerun
 the same command and it continues from the last published version plus
 the journal tail.
 
+With ``--streams N`` the replay becomes a *fleet*: N concurrent
+sessions (distinct names, staggered seeds) publish into the one
+registry, each optionally drifting mid-stream (``--drift-at``), each
+optionally gating refit republishes behind a shadow trial
+(``--canary``) so ``name@latest`` only flips when the refit wins on
+live prequential MLogQ.
+
 Example::
 
     python -m repro.stream --app bcast --registry /tmp/reg \
         --n 200 --batch 32 --journal /tmp/bcast.jsonl
+
+    python -m repro.stream --app bcast --registry /tmp/reg \
+        --streams 4 --n 300 --drift-at 150 --canary
 """
 from __future__ import annotations
 
@@ -37,7 +47,8 @@ def _fmt(record: dict) -> str:
     if record.get("reason"):
         parts.append(f"reason={record['reason']}")
     if record.get("published_version"):
-        parts.append(f"published=v{record['published_version']}")
+        channel = record.get("channel", "latest")
+        parts.append(f"published=v{record['published_version']}@{channel}")
     if record.get("batch_error") is not None:
         parts.append(f"err={record['batch_error']:.3f}")
     rolling = record.get("rolling_error")
@@ -78,6 +89,25 @@ def main(argv=None) -> int:
     parser.add_argument("--drift-window", type=int, default=64)
     parser.add_argument("--drift-threshold", type=float, default=0.25)
     parser.add_argument("--drift-min-count", type=int, default=24)
+    parser.add_argument("--streams", type=int, default=1, metavar="N",
+                        help="run N concurrent stream sessions (a fleet of "
+                             "drifting applications) against the one "
+                             "registry; names are <name>-0..N-1")
+    parser.add_argument("--drift-at", type=int, default=None, metavar="ROWS",
+                        help="inject a measurement regime change after this "
+                             "many rows per stream (default: stationary)")
+    parser.add_argument("--drift-factor", type=float, default=2.0,
+                        help="measurement scale factor after --drift-at")
+    parser.add_argument("--canary", action="store_true",
+                        help="publish refits to name@shadow and only flip "
+                             "name@latest when the refit beats the incumbent "
+                             "on live prequential MLogQ (losers roll back)")
+    parser.add_argument("--canary-margin", type=float, default=0.05,
+                        help="relative MLogQ win margin required to promote")
+    parser.add_argument("--canary-min-scores", type=int, default=24,
+                        help="paired observations before a trial verdict")
+    parser.add_argument("--canary-max-scores", type=int, default=256,
+                        help="trial budget; undecided trials roll back")
     parser.add_argument("--serve-workers", type=int, default=0,
                         help="score through an HTTP worker fleet of this "
                              "size instead of an in-process server (0 = "
@@ -94,6 +124,11 @@ def main(argv=None) -> int:
                         help="install a repro.faults FaultPlan (chaos runs): "
                              "inline JSON or @path/to/plan.json")
     args = parser.parse_args(argv)
+    if args.streams < 1:
+        parser.error("--streams must be >= 1")
+    if args.streams > 1 and args.journal is not None:
+        parser.error("--journal is single-stream only (fleet streams are "
+                     "ephemeral; give each stream its own run to resume)")
 
     from repro import faults
 
@@ -115,6 +150,69 @@ def main(argv=None) -> int:
     app = get_application(args.app)
     name = args.name or f"{args.app}-stream"
     registry = ModelRegistry(args.registry)
+
+    if args.streams > 1:
+        from repro.stream.fleet import MultiStreamDriver, StreamTask
+
+        tasks = [
+            StreamTask(
+                args.app,
+                n=args.n,
+                batch=args.batch,
+                seed=args.seed + i,
+                name=f"{name}-{i}",
+                shift_at=args.drift_at,
+                drift_factor=args.drift_factor,
+                canary=args.canary,
+                canary_margin=args.canary_margin,
+                canary_min_scores=args.canary_min_scores,
+                canary_max_scores=args.canary_max_scores,
+                cells=args.cells,
+                rank=args.rank,
+                loss=args.loss,
+                max_sweeps=args.max_sweeps,
+                partial_sweeps=args.partial_sweeps,
+                window=args.window,
+                drift_window=args.drift_window,
+                drift_threshold=args.drift_threshold,
+                drift_min_count=args.drift_min_count,
+            )
+            for i in range(args.streams)
+        ]
+        drift = (
+            "stationary"
+            if args.drift_at is None
+            else f"drift@{args.drift_at}x{args.drift_factor}"
+        )
+        print(
+            f"[stream] fleet: {args.streams} concurrent {args.app} streams "
+            f"({drift}, canary={'on' if args.canary else 'off'}) "
+            f"-> {args.registry}"
+        )
+        report = MultiStreamDriver(registry, tasks).run()
+        for sname, summary in report["streams"].items():
+            if "error" in summary:
+                print(f"[stream] {sname}: FAILED {summary['error']}")
+                continue
+            tr = summary["trainer"]
+            print(
+                f"[stream] {sname}: n={summary['n_observations']} "
+                f"refit={tr['refit']} versions={summary['published_versions']} "
+                f"promotions={summary['promotions']} "
+                f"rollbacks={summary['rollbacks']}"
+            )
+        print(
+            f"[stream] fleet done: streams={report['n_streams']} "
+            f"failures={report['failures']} promotions={report['promotions']} "
+            f"rollbacks={report['rollbacks']}"
+        )
+        return 1 if report["failures"] else 0
+
+    if args.drift_at is not None:
+        from repro.stream.fleet import DriftingApplication
+
+        app = DriftingApplication(app, args.drift_at, factor=args.drift_factor)
+
     fleet = None
     if args.serve_workers > 0:
         from repro.serve import ServeFleet
@@ -149,10 +247,16 @@ def main(argv=None) -> int:
         factory, monitor=monitor, partial_sweeps=args.partial_sweeps
     )
     meta = {"app": args.app, "seed": args.seed}
+    canary_kwargs = dict(
+        canary=args.canary,
+        canary_margin=args.canary_margin,
+        canary_min_scores=args.canary_min_scores,
+        canary_max_scores=args.canary_max_scores,
+    )
     if args.journal is not None:
         session = StreamSession.resume(
             registry, name, args.journal, factory, window=args.window,
-            monitor=monitor, trainer=trainer, meta=meta,
+            monitor=monitor, trainer=trainer, meta=meta, **canary_kwargs,
         )
         if session.resumed_from is not None:
             pending = session.buffer.n_seen - session.buffer.flushed
@@ -167,7 +271,7 @@ def main(argv=None) -> int:
         session = StreamSession(
             registry, name, factory,
             buffer=ObservationBuffer(window=args.window),
-            monitor=monitor, trainer=trainer, meta=meta,
+            monitor=monitor, trainer=trainer, meta=meta, **canary_kwargs,
         )
 
     def _fleet_handle(request: dict) -> dict:
@@ -210,12 +314,18 @@ def main(argv=None) -> int:
     session.buffer.close()
     trainer_rec = summary["trainer"]
     rolling = summary["drift"]["error"]
+    canary_part = (
+        f"promotions={summary['promotions']} rollbacks={summary['rollbacks']} "
+        if args.canary
+        else ""
+    )
     print(
         f"[stream] done: app={args.app} name={name} "
         f"n={summary['n_observations']} fit={trainer_rec['fit']} "
         f"partial={trainer_rec['partial']} refit={trainer_rec['refit']} "
         f"republished={summary['republished']} "
         f"versions={summary['published_versions']} "
+        f"{canary_part}"
         f"backend={summary['kernel_backend']} "
         f"rolling_error={rolling if rolling is not None else float('nan'):.3f}"
     )

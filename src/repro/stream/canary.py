@@ -1,0 +1,163 @@
+"""Shadow-scoring trials: a candidate must beat the incumbent to serve.
+
+The paper's models are live tuning/scheduling artifacts, so republishing
+a refit straight to ``name@latest`` lets one bad refit (an unlucky
+window, a diverged fit) degrade every consumer at once.  The canary
+discipline — the control-loop shape batpred runs in production, and the
+prequential gate of "A Learned Performance Model for the TPU" — publishes
+the candidate to the **shadow** channel instead, scores both models on
+the same live observations, and flips latest only when the candidate
+*wins by a margin*.
+
+A :class:`ShadowTrial` is the referee: it holds the candidate (live,
+still absorbing partial updates) and a frozen snapshot of the incumbent
+(exactly what ``name@latest`` serves), accumulates paired prequential
+MLogQ samples — each arriving observation scored by *both* models before
+it is absorbed — and renders one of three verdicts per batch:
+
+``None``
+    Keep scoring (not enough evidence either way).
+``"promote"``
+    The candidate's mean MLogQ beat the incumbent's by at least
+    ``margin`` (relative) over ``min_scores``-plus observations.
+``"rollback"``
+    The candidate is *worse* than the incumbent on the same evidence, or
+    the trial aged out (``max_scores``) without a margin win — ties go
+    to the incumbent, because a flip invalidates every consumer's cache
+    for no measured benefit.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ShadowTrial"]
+
+
+def _mlogq(y_pred, y_true) -> np.ndarray:
+    """Per-observation |log(pred/true)| with non-finite predictions
+    treated as maximal evidence (mirrors DriftMonitor.record)."""
+    errs = np.abs(
+        np.log(np.maximum(np.asarray(y_pred, dtype=float), 1e-300) / y_true)
+    )
+    return np.nan_to_num(errs, nan=50.0, posinf=50.0)
+
+
+class ShadowTrial:
+    """One candidate-vs-incumbent scoring window.
+
+    Parameters
+    ----------
+    candidate
+        The freshly refitted model (keeps receiving partial updates
+        while the trial runs — a canary that stops learning mid-trial
+        would be judged on stale state).
+    incumbent
+        A frozen reference to the model ``name@latest`` currently
+        serves.  Never mutated by the trial.
+    version
+        The shadow registry version under trial (``None`` when the
+        shadow publish failed — the trial still referees locally, the
+        decision just has no pointer to flip).
+    margin
+        Relative MLogQ improvement required to promote: candidate mean
+        must be ``<= incumbent mean * (1 - margin)``.
+    min_scores
+        Paired observations required before any verdict.
+    max_scores
+        Evidence budget: an undecided trial is rolled back at this many
+        observations (an indefinitely "almost better" candidate blocks
+        the next drift refit from ever starting).
+    """
+
+    def __init__(
+        self,
+        candidate,
+        incumbent,
+        version: int | None,
+        margin: float = 0.05,
+        min_scores: int = 24,
+        max_scores: int = 256,
+    ):
+        if not 0.0 <= float(margin) < 1.0:
+            raise ValueError("margin must be in [0, 1)")
+        if int(min_scores) < 1:
+            raise ValueError("min_scores must be >= 1")
+        if int(max_scores) < int(min_scores):
+            raise ValueError("max_scores must be >= min_scores")
+        self.candidate = candidate
+        self.incumbent = incumbent
+        self.version = version
+        self.margin = float(margin)
+        self.min_scores = int(min_scores)
+        self.max_scores = int(max_scores)
+        self._candidate_errs: list[float] = []
+        self._incumbent_errs: list[float] = []
+
+    @property
+    def n_scored(self) -> int:
+        return len(self._candidate_errs)
+
+    @property
+    def candidate_error(self) -> float:
+        if not self._candidate_errs:
+            return float("nan")
+        return float(np.mean(self._candidate_errs))
+
+    @property
+    def incumbent_error(self) -> float:
+        if not self._incumbent_errs:
+            return float("nan")
+        return float(np.mean(self._incumbent_errs))
+
+    def score(self, X, y) -> dict:
+        """Score one arriving batch through both models (prequentially:
+        the candidate has not absorbed these rows yet when judged)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if len(y) == 0:
+            return {"n": 0}
+        for model, errs in (
+            (self.candidate, self._candidate_errs),
+            (self.incumbent, self._incumbent_errs),
+        ):
+            try:
+                batch = _mlogq(model.predict(X), y)
+            except Exception:
+                # A crashing predict is maximal evidence against that
+                # model, not a hole in the trial.
+                batch = np.full(len(y), 50.0)
+            errs.extend(float(e) for e in batch)
+        return {
+            "n": self.n_scored,
+            "candidate_error": self.candidate_error,
+            "incumbent_error": self.incumbent_error,
+        }
+
+    def decision(self) -> str | None:
+        """The verdict on current evidence (see the module docstring)."""
+        if self.n_scored < self.min_scores:
+            return None
+        cand, inc = self.candidate_error, self.incumbent_error
+        if cand <= inc * (1.0 - self.margin):
+            return "promote"
+        if cand > inc or self.n_scored >= self.max_scores:
+            return "rollback"
+        return None
+
+    def to_record(self) -> dict:
+        """JSON-serializable trial telemetry."""
+        cand, inc = self.candidate_error, self.incumbent_error
+        return {
+            "version": self.version,
+            "n_scored": self.n_scored,
+            "candidate_error": None if np.isnan(cand) else cand,
+            "incumbent_error": None if np.isnan(inc) else inc,
+            "margin": self.margin,
+        }
+
+    def __repr__(self):
+        return (
+            f"ShadowTrial(v{self.version}, n={self.n_scored}, "
+            f"candidate={self.candidate_error:.4f}, "
+            f"incumbent={self.incumbent_error:.4f})"
+        )

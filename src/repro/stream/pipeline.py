@@ -14,6 +14,16 @@ Resumability mirrors ``repro.runtime``: the published manifest records
 so :meth:`StreamSession.resume` reloads the latest version — whose
 payload carries the observed tensor (PR 5's fit-state persistence) — and
 replays only the journal tail past that point.
+
+With ``canary=True`` a drift-triggered refit no longer flips
+``name@latest`` directly: the refit model is published to the
+**shadow** channel and put on :class:`~repro.stream.canary.ShadowTrial`
+against the frozen incumbent.  Both score every arriving batch
+prequentially; the registry pointer only flips (``registry.promote``)
+when the candidate's live MLogQ beats the incumbent's by the configured
+margin, and a losing candidate is rolled back — the registry pointer
+cleared, the incumbent model re-adopted locally, the loser recorded in
+:attr:`rolled_back_versions`.
 """
 from __future__ import annotations
 
@@ -21,6 +31,7 @@ import numpy as np
 
 from repro.faults import fault_point, retry_call
 from repro.stream.buffer import ObservationBuffer
+from repro.stream.canary import ShadowTrial
 from repro.stream.drift import DriftMonitor
 from repro.stream.trainer import IncrementalTrainer
 
@@ -44,6 +55,14 @@ class StreamSession:
         Injectable components; sensible defaults are built when omitted.
     meta
         Extra key/values merged into every published manifest.
+    canary
+        When true, refits of an already-published model go through a
+        shadow trial instead of flipping ``name@latest`` immediately
+        (see the module docstring).  The very first publish and refits
+        of a never-published name are unaffected — there is no incumbent
+        to protect.
+    canary_margin, canary_min_scores, canary_max_scores
+        Forwarded to :class:`~repro.stream.canary.ShadowTrial`.
     """
 
     def __init__(
@@ -55,6 +74,10 @@ class StreamSession:
         monitor: DriftMonitor | None = None,
         trainer: IncrementalTrainer | None = None,
         meta: dict | None = None,
+        canary: bool = False,
+        canary_margin: float = 0.05,
+        canary_min_scores: int = 24,
+        canary_max_scores: int = 256,
     ):
         self.registry = registry
         self.name = name
@@ -64,6 +87,15 @@ class StreamSession:
             model_factory, monitor=self.monitor
         )
         self.meta = dict(meta or {})
+        self.canary = bool(canary)
+        self.canary_margin = float(canary_margin)
+        self.canary_min_scores = int(canary_min_scores)
+        self.canary_max_scores = int(canary_max_scores)
+        self.trial: ShadowTrial | None = None
+        self.trial_records: list[dict] = []
+        self.promotions = 0
+        self.rollbacks = 0
+        self.rolled_back_versions: list[int] = []
         self.published_versions: list[int] = []
         self.resumed_from: int | None = None
         self.publish_failures = 0
@@ -137,10 +169,20 @@ class StreamSession:
                 # loses one drift sample, never the observations — they
                 # are journaled and absorbed below regardless.
                 batch_err = None
+        trial_state = None
+        if self.trial is not None and len(y):
+            # Prequential: both contenders judged on this batch *before*
+            # the candidate absorbs it in the flush below.
+            trial_state = self.trial.score(X, y)
+            verdict = self.trial.decision()
+            if verdict is not None:
+                self._resolve_trial(promote=verdict == "promote")
         self.buffer.append(X, y)
         record = self.flush()
         record["batch_error"] = batch_err
         record["rolling_error"] = self.monitor.error
+        if trial_state is not None:
+            record["trial"] = trial_state
         return record
 
     def flush(self) -> dict:
@@ -153,26 +195,122 @@ class StreamSession:
         version serving and marks the session :attr:`degraded`.
         """
         X_new, y_new = self.buffer.since(self.buffer.flushed)
+        # A successful refit replaces ``trainer.model`` with a fresh
+        # object, so the reference captured here stays frozen — exactly
+        # the artifact an active ``name@latest`` resolution serves.
+        incumbent = self.trainer.model
         # The refit set is passed lazily: the common partial path never
         # materializes the retention window.
         record = self.trainer.update(X_new, y_new, self.buffer.refit_arrays)
         if record["action"] not in ("deferred", "failed"):
             self.buffer.mark_flushed()
         if record["action"] in ("fit", "refit"):
-            version = self.publish(reason=record.get("reason", ""))
+            shadow = (
+                self.canary
+                and record["action"] == "refit"
+                and self.registry is not None
+                and self.name in self.registry
+            )
+            if shadow and self.trial is not None:
+                # A refit landing mid-trial supersedes it: the old
+                # candidate is rolled back (it never won), and its
+                # incumbent carries over — it is still what
+                # ``name@latest`` serves, whereas the model captured
+                # above is the superseded candidate.  Resolve *before*
+                # publishing, or the rollback would clear the new
+                # candidate's freshly written shadow pointer.
+                incumbent = self.trial.incumbent
+                self._resolve_trial(
+                    promote=False, reason="superseded by newer refit", adopt=False
+                )
+            channel = "shadow" if shadow else None
+            version = self.publish(reason=record.get("reason", ""), channel=channel)
             record["published_version"] = version
+            if shadow:
+                record["channel"] = "shadow"
+                self._start_trial(incumbent, version)
             if version is None and self.registry is not None:
                 record["publish_error"] = self._last_publish_error
         return record
 
-    def publish(self, reason: str = "") -> int | None:
+    # -- canary trials ---------------------------------------------------------
+
+    def _start_trial(self, incumbent, version: int | None) -> None:
+        """Open a shadow trial for the freshly refitted candidate."""
+        self.trial = ShadowTrial(
+            candidate=self.trainer.model,
+            incumbent=incumbent,
+            version=version,
+            margin=self.canary_margin,
+            min_scores=self.canary_min_scores,
+            max_scores=self.canary_max_scores,
+        )
+
+    def _resolve_trial(
+        self, promote: bool, reason: str = "", adopt: bool = True
+    ) -> None:
+        """Close the active trial: flip the pointer or roll the loser back."""
+        trial, self.trial = self.trial, None
+        record = trial.to_record()
+        if promote:
+            self.promotions += 1
+            record["outcome"] = "promoted"
+            if self.registry is not None:
+                if trial.version is not None:
+                    self._registry_op(
+                        lambda: self.registry.promote(self.name, trial.version)
+                    )
+                else:
+                    # The shadow publish itself had failed; promote means
+                    # "this model should serve", so publish it plainly.
+                    self.publish(reason="canary-promote")
+        else:
+            self.rollbacks += 1
+            record["outcome"] = "rolled_back"
+            record["reason"] = reason or "lost shadow trial"
+            if trial.version is not None:
+                self.rolled_back_versions.append(trial.version)
+                if self.registry is not None:
+                    self._registry_op(
+                        lambda: self.registry.rollback(
+                            self.name, reason=record["reason"]
+                        )
+                    )
+            if adopt:
+                # The incumbent keeps both roles: it never stopped
+                # serving, and it resumes absorbing partial updates.
+                self.trainer.adopt(trial.incumbent)
+        # Either way the live model changed identity relative to the
+        # trial window — stale prequential evidence must not trigger
+        # (or mask) the next refit.
+        self.monitor.reset()
+        self.trial_records.append(record)
+
+    def _registry_op(self, fn) -> bool:
+        """Run a registry pointer mutation with the publish retry policy."""
+
+        def _op():
+            fault_point("stream.publish")
+            return fn()
+
+        try:
+            retry_call(_op, attempts=3, base_delay_s=0.05, deadline_s=5.0)
+        except Exception as exc:
+            self.publish_failures += 1
+            self._publish_degraded = True
+            self._last_publish_error = f"{type(exc).__name__}: {exc}"
+            return False
+        return True
+
+    def publish(self, reason: str = "", channel: str | None = None) -> int | None:
         """Publish the current model as the next registry version.
 
-        Retries transient registry failures briefly; on exhaustion
-        returns ``None`` and degrades instead of raising — consumers
-        keep resolving the previous version, and the next (re)fit gets
-        another chance (the journal, not the registry, is the stream's
-        source of truth).
+        ``channel="shadow"`` publishes without flipping ``name@latest``
+        (the canary path).  Retries transient registry failures briefly;
+        on exhaustion returns ``None`` and degrades instead of raising —
+        consumers keep resolving the previous version, and the next
+        (re)fit gets another chance (the journal, not the registry, is
+        the stream's source of truth).
         """
         if self.registry is None or self.trainer.model is None:
             return None
@@ -186,10 +324,14 @@ class StreamSession:
                 else float(self.monitor.error),
             }
         )
+        if channel is not None:
+            meta["channel"] = channel
 
         def _publish():
             fault_point("stream.publish")
-            return self.registry.publish(self.name, self.trainer.model, meta=meta)
+            return self.registry.publish(
+                self.name, self.trainer.model, meta=meta, channel=channel
+            )
 
         try:
             mv = retry_call(_publish, attempts=3, base_delay_s=0.05, deadline_s=5.0)
@@ -229,6 +371,12 @@ class StreamSession:
             "republished": self.republished,
             "publish_failures": self.publish_failures,
             "degraded": self.degraded,
+            "canary": self.canary,
+            "promotions": self.promotions,
+            "rollbacks": self.rollbacks,
+            "rolled_back_versions": list(self.rolled_back_versions),
+            "trials": list(self.trial_records),
+            "trial_open": None if self.trial is None else self.trial.to_record(),
         }
 
 
