@@ -30,6 +30,7 @@ from repro.core.completion.state import (
     CompletionResult,
     ModePlan,
     ObservationPlan,
+    cp_component_norms,
     cp_eval,
     cp_full,
     cp_size_bytes,
@@ -37,6 +38,11 @@ from repro.core.completion.state import (
     init_positive_factors,
     khatri_rao_rows,
     solve_batched_spd,
+)
+from repro.core.completion.adaptive import (
+    AdaptiveCompletionResult,
+    complete_als_adaptive,
+    complete_als_regularized,
 )
 from repro.core.completion.als import complete_als
 from repro.core.completion.amn import complete_amn
@@ -46,6 +52,8 @@ from repro.core.completion.sgd import complete_sgd
 
 OPTIMIZERS = {
     "als": complete_als,
+    "als_adaptive": complete_als_adaptive,
+    "als_reg": complete_als_regularized,
     "ccd": complete_ccd,
     "sgd": complete_sgd,
     "amn": complete_amn,
@@ -55,15 +63,19 @@ OPTIMIZERS = {
 __all__ = [
     "init_factors",
     "init_positive_factors",
+    "cp_component_norms",
     "cp_eval",
     "cp_full",
     "cp_size_bytes",
     "khatri_rao_rows",
     "CompletionResult",
+    "AdaptiveCompletionResult",
     "ModePlan",
     "ObservationPlan",
     "solve_batched_spd",
     "complete_als",
+    "complete_als_adaptive",
+    "complete_als_regularized",
     "complete_ccd",
     "complete_sgd",
     "complete_amn",

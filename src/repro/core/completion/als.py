@@ -54,6 +54,9 @@ def _solve_rows(K, t, row_idx, n_rows, lam, out, scale_rows):
     observation set (the paper's row objective); with ``False`` it is the
     plain sum, making every mode update an exact block-coordinate-descent
     step on the global objective of Eq. 3 (hence provably monotone).
+
+    ``lam`` may be a scalar or a per-column vector of shape ``(R,)``
+    (column-wise penalties): ``lam * eye`` broadcasts to ``diag(lam)``.
     """
     R = K.shape[1]
     order = np.argsort(row_idx, kind="stable")
@@ -107,8 +110,19 @@ def _solve_rows_batched(plan, j, factors, t_sorted, lam, out, scale_rows):
     # scaling the whole system by ``n_i`` instead folds that into the
     # regularization diagonal (identical solution, two fewer full-stack
     # passes): (G/n + lam I) u = b/n  <=>  (G + n lam I) u = b.
-    diag = lam * mp.counts_obs if scale_rows else lam
-    G[:, np.arange(R), np.arange(R)] += np.asarray(diag).reshape(-1, 1)
+    # ``lam`` may be a per-column vector (shape (R,)) — the column-wise
+    # penalties of the regularized variant — in which case the diagonal
+    # add is ``n_i * lam_r`` per (row, column).
+    if np.ndim(lam) > 0:
+        lam_vec = np.asarray(lam, dtype=float)
+        diag = (
+            mp.counts_obs[:, None] * lam_vec[None, :] if scale_rows else lam_vec
+        )
+    else:
+        diag = np.asarray(
+            lam * mp.counts_obs if scale_rows else lam
+        ).reshape(-1, 1)
+    G[:, np.arange(R), np.arange(R)] += diag
     out[mp.obs_rows] = solve_batched_spd(G, b)
 
 

@@ -40,13 +40,17 @@ Registered backends:
 """
 from __future__ import annotations
 
+import json
 import os
+import platform
 import time
+from pathlib import Path
 
 import numpy as np
 
 __all__ = [
     "ENV_VAR",
+    "CALIBRATION_ENV_VAR",
     "KernelBackend",
     "register_backend",
     "get_backend",
@@ -60,6 +64,11 @@ __all__ = [
 #: Environment variable forcing one backend through every subsystem
 #: (fit, serve republish, stream refits, forked fleet workers).
 ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Environment variable overriding where :func:`select_best` persists its
+#: calibration verdict (a small JSON sidecar).  Set to an empty string to
+#: disable persistence entirely (the in-process cache still applies).
+CALIBRATION_ENV_VAR = "REPRO_KERNEL_CALIBRATION"
 
 
 class _FitContext:
@@ -94,6 +103,10 @@ class KernelBackend:
         Whether warm-start factors are honoured; a backend without it is
         refit cold by ``partial_fit`` and skipped by the warm-start
         parity tests.
+    supports_column_penalties
+        Whether ``als_update`` accepts a per-column regularization
+        *vector* (shape ``(R,)``) in place of the scalar ``lam`` — the
+        capability the regularized/adaptive ALS variants gate on.
     selectable
         Whether :func:`select_best` may auto-pick it.  The reference
         loops are correct but deliberately slow, so they are excluded.
@@ -103,6 +116,7 @@ class KernelBackend:
     aliases: tuple = ()
     supports_plan_reuse: bool = False
     supports_partial_fit: bool = True
+    supports_column_penalties: bool = False
     selectable: bool = True
 
     # -- availability ----------------------------------------------------------
@@ -152,6 +166,7 @@ class KernelBackend:
             "unavailable_reason": self.unavailable_reason(),
             "supports_plan_reuse": self.supports_plan_reuse,
             "supports_partial_fit": self.supports_partial_fit,
+            "supports_column_penalties": self.supports_column_penalties,
             "selectable": self.selectable,
         }
 
@@ -276,14 +291,82 @@ def _calibration_time(backend) -> float:
     return time.perf_counter() - t0
 
 
+def _calibration_path() -> Path | None:
+    """Where the calibration sidecar lives (``None`` disables persistence)."""
+    env = os.environ.get(CALIBRATION_ENV_VAR)
+    if env is not None:
+        return Path(env) if env else None
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return Path(base) / "repro" / "kernel_calibration.json"
+
+
+def _calibration_key(candidates) -> str:
+    """Sidecar key: one verdict per (host, candidate backend set).
+
+    Keying on the candidate set means installing/removing an accelerated
+    backend (e.g. numba appearing in a new venv) naturally invalidates
+    the stored verdict instead of silently pinning a stale winner.
+    """
+    names = ",".join(sorted(b.name for b in candidates))
+    return f"{platform.node() or 'unknown-host'}|{names}"
+
+
+def _load_calibration(key: str) -> str | None:
+    """Read the persisted winner for ``key``; any I/O problem reads as miss."""
+    path = _calibration_path()
+    if path is None:
+        return None
+    try:
+        entry = json.loads(path.read_text()).get(key)
+    except (OSError, ValueError):
+        return None
+    if isinstance(entry, dict):
+        name = entry.get("backend")
+        return name if isinstance(name, str) else None
+    return None
+
+
+def _store_calibration(key: str, backend: KernelBackend) -> None:
+    """Merge the verdict into the sidecar; failures are non-fatal.
+
+    Read-merge-replace so concurrent writers for *different* keys (e.g.
+    two hosts sharing a home directory) at worst lose one another's
+    update, never corrupt the file: the final rename is atomic.
+    """
+    path = _calibration_path()
+    if path is None:
+        return
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            data = json.loads(path.read_text())
+            if not isinstance(data, dict):
+                data = {}
+        except (OSError, ValueError):
+            data = {}
+        data[key] = {"backend": backend.name, "calibrated_at": time.time()}
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(data, indent=2, sort_keys=True))
+        os.replace(tmp, path)
+    except OSError:  # read-only FS, permission, quota... calibration is a cache
+        return
+
+
 def select_best(force: bool = False) -> KernelBackend:
     """The fastest available selectable backend (calibrated, cached).
 
     With a single candidate (the common case: ``numpy_batched`` on hosts
     without numba) no calibration runs at all.  Otherwise each candidate
     fits the same tiny ALS + AMN problem once after a warmup pass and
-    the fastest wins; the choice is cached for the process (``force=True``
-    recalibrates).
+    the fastest wins; the choice is cached for the process *and*
+    persisted to a small JSON sidecar keyed by (host, candidate set) —
+    see :data:`CALIBRATION_ENV_VAR` — so forked fleet/queue/stream
+    workers calibrate once per host instead of once per process.
+    ``force=True`` bypasses both caches, recalibrates, and rewrites the
+    sidecar; the ``REPRO_KERNEL_BACKEND`` env override bypasses
+    selection entirely (see :func:`resolve_backend`).
     """
     global _SELECTED
     if _SELECTED is not None and not force:
@@ -295,8 +378,17 @@ def select_best(force: bool = False) -> KernelBackend:
         raise RuntimeError("no kernel backend is available")
     if len(candidates) == 1:
         _SELECTED = candidates[0]
-    else:
-        _SELECTED = min(candidates, key=_calibration_time)
+        return _SELECTED
+    key = _calibration_key(candidates)
+    if not force:
+        stored = _load_calibration(key)
+        if stored is not None:
+            by_name = {b.name: b for b in candidates}
+            if stored in by_name:
+                _SELECTED = by_name[stored]
+                return _SELECTED
+    _SELECTED = min(candidates, key=_calibration_time)
+    _store_calibration(key, _SELECTED)
     return _SELECTED
 
 
@@ -314,6 +406,7 @@ class ReferenceBackend(KernelBackend):
 
     name = "reference"
     supports_plan_reuse = False
+    supports_column_penalties = True
     selectable = False
 
     def prepare_als(self, shape, indices, values, plan=None):
@@ -374,6 +467,7 @@ class NumpyBatchedBackend(KernelBackend):
     name = "numpy_batched"
     aliases = ("batched",)
     supports_plan_reuse = True
+    supports_column_penalties = True
 
     def _plan_for(self, shape, indices, plan):
         from repro.core.completion.state import ObservationPlan
@@ -609,6 +703,14 @@ class NumbaJITBackend(NumpyBatchedBackend):
     def als_update(self, ctx, factors, j, lam, scale_rows):
         from repro.core.completion.state import solve_batched_spd
 
+        if np.ndim(lam) > 0:
+            # Column-wise penalty vectors: the compiled kernel takes a
+            # scalar ``lam``; delegate to the (exactly equivalent) numpy
+            # batched assembly rather than maintaining a second JIT
+            # signature for the rare regularized path.
+            NumpyBatchedBackend.als_update(self, ctx, factors, j, lam,
+                                           scale_rows)
+            return
         mp = ctx.plan.mode(j)
         if mp.n_obs == 0:
             return

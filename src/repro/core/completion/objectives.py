@@ -14,12 +14,33 @@ import numpy as np
 
 from repro.core.completion.state import cp_eval
 
-__all__ = ["ls_objective", "logq_objective", "frobenius_penalty"]
+__all__ = [
+    "ls_objective",
+    "logq_objective",
+    "frobenius_penalty",
+    "columnwise_penalty",
+]
 
 
 def frobenius_penalty(factors: list, lam: float) -> float:
     """Regularization term ``lam * sum_j ||U_j||_F^2``."""
     return float(lam * sum(float(np.sum(U * U)) for U in factors))
+
+
+def columnwise_penalty(factors: list, lam) -> float:
+    """Per-component regularization ``sum_j sum_r lam_r ||U_j[:, r]||^2``.
+
+    ``lam`` is a per-column vector of shape ``(R,)`` (a uniform vector
+    reproduces :func:`frobenius_penalty` exactly).  Graded penalties —
+    weights growing with the column index — bias ALS toward low effective
+    rank: trailing components must earn their residual reduction against
+    a stiffer shrinkage, which is the "practical regularization" recipe of
+    Jiang et al. (arXiv:2103.16852) the adaptive kernel's pruning exploits.
+    """
+    lam = np.asarray(lam, dtype=float)
+    return float(
+        sum(float(np.sum(lam * np.sum(U * U, axis=0))) for U in factors)
+    )
 
 
 def ls_objective(factors, indices, values, lam: float) -> float:

@@ -364,6 +364,20 @@ def cp_size_bytes(factors: list) -> int:
     return int(sum(U.size for U in factors) * 8)
 
 
+def cp_component_norms(factors: list) -> np.ndarray:
+    """Magnitude of each rank-1 component: ``prod_j ||U_j[:, r]||_2``.
+
+    The pruning signal of the adaptive ALS variant: a component whose
+    column-norm product is negligible relative to the largest component
+    contributes nothing to the CP sum and only inflates the served model
+    (Figure 7's size metric).  After gauge rebalancing (``_rebalance`` in
+    ``als.py``) every mode shares the same per-component column norm, so
+    this is that norm to the ``d``-th power.
+    """
+    norms = np.stack([np.linalg.norm(U, axis=0) for U in factors])  # (d, R)
+    return norms.prod(axis=0)
+
+
 @dataclass
 class CompletionResult:
     """Output of a completion optimizer.

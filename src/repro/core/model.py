@@ -43,9 +43,41 @@ from repro.metrics import METRICS
 from repro.utils.serialization import model_size_bytes
 from repro.utils.validation import check_1d, check_matching_rows, check_positive
 
-__all__ = ["CPRModel", "TuckerModel"]
+__all__ = ["CPRModel", "TuckerModel", "rank_attribution"]
 
 _LOSSES = ("log_mse", "mlogq2")
+
+#: Optimizers the ``rank="auto"`` configuration may dispatch to.
+_AUTO_RANK_OPTIMIZERS = ("als_adaptive",)
+
+
+def rank_attribution(model) -> dict:
+    """Requested vs served rank of a fitted model, for manifests/stats.
+
+    Returns ``{"rank": requested}`` plus ``{"adapted_rank": served}``
+    when an adaptive fit landed on a different rank than requested (the
+    ``rank="auto"`` path always does — the request is the string).  The
+    serving layer stamps this into published manifests and engine stats
+    so shadow-trial audits and Figure 7 size reporting compare models at
+    the rank they actually serve.  Models without a rank concept
+    (baseline pipelines) yield ``{}``.
+    """
+    tucker_rank = getattr(model, "tucker_rank", None)
+    if tucker_rank is not None:
+        # Tucker ranks are fixed per fit; there is no adaptation to report.
+        return {
+            "rank": tucker_rank
+            if isinstance(tucker_rank, int)
+            else list(tucker_rank)
+        }
+    rank = getattr(model, "rank", None)
+    if rank is None:
+        return {}
+    out = {"rank": rank if isinstance(rank, (int, str)) else list(rank)}
+    adapted = getattr(model, "adapted_rank_", None)
+    if adapted is not None and adapted != rank:
+        out["adapted_rank"] = int(adapted)
+    return out
 
 
 def _grid_from_data(X: np.ndarray, cells, scales=None) -> TensorGrid:
@@ -129,21 +161,39 @@ class CPRModel:
     ):
         if loss not in _LOSSES:
             raise ValueError(f"loss must be one of {_LOSSES}, got {loss!r}")
+        if isinstance(rank, str) and rank != "auto":
+            raise ValueError(f"rank must be an int or 'auto', got {rank!r}")
+        auto_rank = rank == "auto"
         if loss == "mlogq2":
+            if auto_rank:
+                raise ValueError(
+                    "rank='auto' requires loss='log_mse' (the adaptive "
+                    "grow/prune loop is ALS-based)"
+                )
             if optimizer not in (None, "amn"):
                 raise ValueError("loss='mlogq2' requires the 'amn' optimizer")
             optimizer = "amn"
         else:
-            optimizer = optimizer or "als"
+            optimizer = optimizer or ("als_adaptive" if auto_rank else "als")
             if optimizer == "amn":
                 raise ValueError("optimizer 'amn' requires loss='mlogq2'")
+            if auto_rank and optimizer not in _AUTO_RANK_OPTIMIZERS:
+                # "als" is the natural spelling; it auto-upgrades.
+                if optimizer == "als":
+                    optimizer = "als_adaptive"
+                else:
+                    raise ValueError(
+                        f"rank='auto' requires an adaptive optimizer "
+                        f"({', '.join(_AUTO_RANK_OPTIMIZERS)}), "
+                        f"got {optimizer!r}"
+                    )
         if optimizer not in OPTIMIZERS:
             raise ValueError(f"unknown optimizer {optimizer!r}")
         if out_of_domain not in ("auto", "raise", "clip", "extrapolate"):
             raise ValueError(f"bad out_of_domain {out_of_domain!r}")
         self.space = space
         self.cells = cells
-        self.rank = int(rank)
+        self.rank = "auto" if auto_rank else int(rank)
         self.loss = loss
         self.optimizer = optimizer
         self.regularization = float(regularization)
@@ -254,6 +304,11 @@ class CPRModel:
             **kwargs,
         )
         self.factors_ = self.result_.factors
+        # The rank the model actually serves: an adaptive fit may land on
+        # a different rank than configured (rank="auto" always does).
+        self.adapted_rank_ = int(self.factors_[0].shape[1])
+        trajectory = getattr(self.result_, "rank_trajectory", None)
+        self.rank_trajectory_ = list(trajectory) if trajectory else None
 
     def _factor_list(self) -> list:
         """Per-mode factor matrices (hook for non-CP decompositions)."""
@@ -467,6 +522,7 @@ class CPRModel:
             "class": type(self).__name__,
             "loss": self.loss,
             "rank": self.rank,
+            "adapted_rank": getattr(self, "adapted_rank_", None),
             "order": self.grid_.order,
             "shape": list(self.grid_.shape),
             "out_of_domain": self.out_of_domain,
@@ -633,6 +689,12 @@ class CPRModel:
         }
         if self.loss == "log_mse":
             state["log_bounds"] = (self._log_lo, self._log_hi)
+        # Stored only when the served rank differs from the requested one
+        # (always for rank="auto"): fixed-rank states stay byte-identical
+        # to pre-adaptive serializations.
+        adapted = getattr(self, "adapted_rank_", None)
+        if adapted is not None and adapted != self.rank:
+            state["adapted_rank"] = int(adapted)
         return state
 
     def __getstate_fit__(self) -> dict | None:
@@ -683,7 +745,12 @@ class CPRModel:
         m.offset_ = float(state["offset"])
         m.loss = state["loss"]
         m.out_of_domain = state.get("out_of_domain", "auto")
-        m.rank = int(state["rank"])
+        rank = state["rank"]
+        m.rank = "auto" if rank == "auto" else int(rank)
+        if "adapted_rank" in state:
+            m.adapted_rank_ = int(state["adapted_rank"])
+        elif isinstance(m.rank, int):
+            m.adapted_rank_ = m.rank
         m._observed_rows_ = list(state["observed"])
         m._extrapolators = {}
         m._plan_ = None

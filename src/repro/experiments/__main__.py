@@ -38,6 +38,7 @@ import time
 from pathlib import Path
 
 from repro.experiments import (
+    ablation_rank,
     ablation_tucker,
     ablations,
     figure1,
@@ -66,6 +67,7 @@ DRIVERS = {
     "ablation-spacing": ablations.run_spacing,
     "ablation-optimizer": ablations.run_optimizer,
     "ablation-tucker": ablation_tucker.run,
+    "ablation-rank": ablation_rank.run,
 }
 
 

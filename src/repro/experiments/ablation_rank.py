@@ -1,0 +1,185 @@
+"""Rank ablation: fixed-rank CPR grid vs the adaptive ``rank="auto"`` fit.
+
+Extends the Figure 5/6 protocol along the rank axis.  Per benchmark, one
+low-density sweep point (the scale's largest grid with its smallest
+training set — where rank choice matters most) is completed two ways:
+
+* the paper's protocol — a grid of **fixed** CP ranks, reporting the
+  minimum test MLogQ over the grid (what every accuracy figure does), and
+* a single ``rank="auto"`` fit — the grow/prune loop of
+  :func:`repro.core.completion.complete_als_adaptive` selects the rank
+  from a validation holdout instead of an outer grid search.
+
+The claim under test: the adaptive fit matches the best fixed rank's
+error without the grid (one fit vs ``len(ranks)`` fits) and lands on a
+model no larger than the best fixed one.  Rows report the selected-rank
+trajectory so a regression in the grow/prune policy is visible directly.
+
+Each (benchmark, cells, n_train) point is one runtime job
+(:func:`run_rank_job`); ``run`` is a thin spec-builder + row formatter,
+exactly like the figure drivers.
+"""
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.apps import get_application
+from repro.experiments.config import bench_apps, n_test, resolve_scale, train_sizes
+from repro.experiments.harness import get_dataset
+from repro.experiments.registry import make_model
+from repro.metrics import mlogq
+from repro.runtime import JobSpec, execute
+
+__all__ = ["run", "build_jobs", "run_rank_job", "rank_job_spec"]
+
+_CELLS = {"smoke": 16, "full": 32, "paper": 64}
+_RANKS = {"smoke": (2, 4, 8), "full": (2, 4, 8, 16), "paper": (1, 2, 4, 8, 16, 32)}
+
+
+def run_rank_job(
+    *,
+    app: str,
+    n_train: int,
+    n_test: int,
+    cells: int,
+    ranks,
+    regularization: float = 1e-5,
+    max_sweeps: int = 50,
+    seed: int = 0,
+) -> dict:
+    """Runtime job: fixed-rank grid vs one adaptive fit on one dataset.
+
+    Pure function of its keyword arguments (cacheable by spec hash).
+    Returns per-variant error / size / fit time, plus the adaptive fit's
+    landed rank and grow/prune trajectory.
+    """
+    from repro.core.grid import TensorGrid
+    from repro.core.tensor import ObservedTensor
+
+    application = get_application(app)
+    train = get_dataset(app, int(n_train), seed=seed)
+    test = get_dataset(app, int(n_test), seed=seed + 1000)
+    grid_obj = TensorGrid.from_space(application.space, cells, X=train.X)
+    density = ObservedTensor.from_data(grid_obj, train.X, train.y).density
+
+    record: dict = {
+        "app": app,
+        "n_train": int(n_train),
+        "cells": int(cells),
+        "density": float(density),
+    }
+
+    def _fit_eval(params: dict) -> dict:
+        model = make_model(
+            "cpr", params, space=application.space, seed=seed
+        )
+        t0 = time.perf_counter()
+        model.fit(train.X, train.y)
+        fit_s = time.perf_counter() - t0
+        return {
+            "error": float(mlogq(model.predict(test.X), test.y)),
+            "size_bytes": int(model.size_bytes),
+            "fit_s": float(fit_s),
+            "adapted_rank": int(model.adapted_rank_),
+            "rank_trajectory": list(model.rank_trajectory_ or []),
+        }
+
+    fixed = []
+    for r in ranks:
+        try:
+            out = _fit_eval(
+                {
+                    "cells": cells,
+                    "rank": int(r),
+                    "regularization": regularization,
+                    "max_sweeps": max_sweeps,
+                }
+            )
+        except (MemoryError, RuntimeError, np.linalg.LinAlgError):
+            continue
+        fixed.append({"rank": int(r), **out})
+    try:
+        auto = _fit_eval(
+            {
+                "cells": cells,
+                "rank": "auto",
+                "regularization": regularization,
+                "max_sweeps": max_sweeps,
+                "max_rank": int(max(ranks)),
+            }
+        )
+    except (MemoryError, RuntimeError, np.linalg.LinAlgError) as exc:
+        auto = {"skipped": True, "reason": str(exc)}
+    if not fixed:
+        record.update(skipped=True, reason="no fixed-rank configuration completed")
+        return record
+    record.update(
+        skipped=False,
+        fixed=fixed,
+        best_fixed=min(fixed, key=lambda f: f["error"]),
+        auto=auto,
+    )
+    return record
+
+
+def rank_job_spec(**params) -> JobSpec:
+    """The canonical :func:`run_rank_job` spec (cache-key contract home)."""
+    return JobSpec("repro.experiments.ablation_rank:run_rank_job", params)
+
+
+def build_jobs(scale: str | None = None, seed: int = 0) -> list:
+    """One job per benchmark at the scale's lowest-density sweep point."""
+    scale = resolve_scale(scale)
+    n = train_sizes(scale)[0]
+    return [
+        rank_job_spec(
+            app=app_name,
+            n_train=n,
+            n_test=n_test(scale),
+            cells=_CELLS[scale],
+            ranks=_RANKS[scale],
+            seed=seed,
+        )
+        for app_name in bench_apps(scale)
+    ]
+
+
+def run(scale: str | None = None, seed: int = 0, runtime=None) -> dict:
+    scale = resolve_scale(scale)
+    rows = []
+    for rec in execute(build_jobs(scale, seed), runtime):
+        if rec["skipped"]:
+            continue
+        best = rec["best_fixed"]
+        auto = rec["auto"]
+        if auto.get("skipped"):
+            rows.append(
+                (rec["app"], rec["density"], best["rank"], best["error"],
+                 "failed", "", "", "")
+            )
+            continue
+        rows.append(
+            (
+                rec["app"],
+                rec["density"],
+                best["rank"],
+                best["error"],
+                auto["adapted_rank"],
+                auto["error"],
+                "->".join(str(r) for r in auto["rank_trajectory"]),
+                f"{auto['size_bytes'] / max(best['size_bytes'], 1):.2f}x",
+            )
+        )
+    return {
+        "headers": [
+            "benchmark", "density", "best fixed rank", "fixed mlogq",
+            "auto rank", "auto mlogq", "trajectory", "size vs fixed",
+        ],
+        "rows": rows,
+        "notes": (
+            "rank='auto' should match the best fixed rank's error in one "
+            "fit (no grid) at equal or smaller model size"
+        ),
+    }

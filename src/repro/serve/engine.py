@@ -20,9 +20,17 @@ import time
 
 import numpy as np
 
+from repro.core.model import rank_attribution
 from repro.faults import fault_point
 
 __all__ = ["PredictionEngine"]
+
+
+def _served_rank(model) -> int | None:
+    """Integer CP rank the model serves at, or ``None`` when rank-less."""
+    info = rank_attribution(model)
+    rank = info.get("adapted_rank", info.get("rank"))
+    return rank if isinstance(rank, int) else None
 
 
 def _supports_skip_validation(model) -> bool:
@@ -157,6 +165,9 @@ class PredictionEngine:
             # Which kernel backend fitted the active model (None for
             # models without backend attribution, e.g. baselines).
             "fit_backend": getattr(model, "fit_backend_", None),
+            # CP rank the active model actually serves (the adapted rank
+            # for ``rank="auto"`` fits; None for rank-less baselines).
+            "rank": _served_rank(model),
             "batches": batches,
             "queries": queries,
             "total_seconds": total_s,

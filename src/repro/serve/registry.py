@@ -53,6 +53,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.model import rank_attribution
 from repro.faults import fault_point, mangle, retry_call
 from repro.utils.serialization import dumps_model, loads_model
 
@@ -274,6 +275,12 @@ class ModelRegistry:
         backend = getattr(model, "fit_backend_", None)
         if backend is not None:
             meta.setdefault("kernel_backend", backend)
+        # Rank attribution: the requested rank plus, for adaptive fits,
+        # the rank the grow/prune loop actually landed on — audits and
+        # size accounting must compare models at the served rank, not
+        # the request (``rank="auto"`` says nothing about the artifact).
+        for key, value in rank_attribution(model).items():
+            meta.setdefault(key, value)
         while True:
             version = self._latest_version_number(name) + 1
             record = {

@@ -57,6 +57,17 @@ def _fmt(record: dict) -> str:
     return " ".join(parts)
 
 
+def _rank_arg(text: str):
+    if text == "auto":
+        return text
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer rank or 'auto', got {text!r}"
+        ) from None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.stream",
@@ -74,7 +85,8 @@ def main(argv=None) -> int:
                         help="observations per stream batch")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--cells", type=int, default=8)
-    parser.add_argument("--rank", type=int, default=3)
+    parser.add_argument("--rank", type=_rank_arg, default=3,
+                        help="CP rank, or 'auto' to grow/prune per (re)fit")
     parser.add_argument("--loss", default="log_mse",
                         choices=["log_mse", "mlogq2"])
     parser.add_argument("--max-sweeps", type=int, default=30)

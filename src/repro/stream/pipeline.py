@@ -204,6 +204,13 @@ class StreamSession:
         record = self.trainer.update(X_new, y_new, self.buffer.refit_arrays)
         if record["action"] not in ("deferred", "failed"):
             self.buffer.mark_flushed()
+        if record["action"] == "refit" and self.trainer.monitor is not self.monitor:
+            # The trainer resets *its* monitor after a refit; when the
+            # session scores drift through a different monitor (injected
+            # trainer), that one holds prequential evidence against the
+            # replaced model — a rank-changing refit must not be judged
+            # by the old model's window.
+            self.monitor.reset()
         if record["action"] in ("fit", "refit"):
             shadow = (
                 self.canary

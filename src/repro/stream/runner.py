@@ -29,13 +29,18 @@ __all__ = ["run_stream_job", "stream_job_spec"]
 def make_model_factory(
     space,
     cells=8,
-    rank: int = 3,
+    rank: int | str = 3,
     loss: str = "log_mse",
     max_sweeps: int = 30,
     seed: int = 0,
     **opt_params,
 ):
-    """A zero-argument ``CPRModel`` builder for streaming refits."""
+    """A zero-argument ``CPRModel`` builder for streaming refits.
+
+    ``rank="auto"`` makes every (re)fit re-run the grow/prune rank
+    search — a drift refit may land on a different rank than the
+    incumbent, which the trainer reports as a ``rank_change``.
+    """
     from repro.core import CPRModel
 
     def factory():

@@ -24,7 +24,18 @@ import numpy as np
 
 from repro.faults import fault_point
 
-__all__ = ["IncrementalTrainer", "known_cell_mask"]
+__all__ = ["IncrementalTrainer", "known_cell_mask", "model_rank"]
+
+
+def model_rank(model) -> int | None:
+    """Served CP rank of a fitted model (the adapted rank when the fit
+    adapted it), or ``None`` for models without an integer rank."""
+    r = getattr(model, "adapted_rank_", None)
+    if r is None:
+        r = getattr(model, "rank", None)
+        if not isinstance(r, (int, np.integer)):
+            return None
+    return int(r)
 
 
 def known_cell_mask(model, X: np.ndarray) -> np.ndarray:
@@ -92,6 +103,7 @@ class IncrementalTrainer:
         self.n_partial = 0
         self.n_refit = 0
         self.n_failed = 0
+        self.n_rank_changes = 0
         self.refit_reasons: dict = {}
         self._consecutive_failures = 0
         self._backoff_until = 0.0
@@ -223,6 +235,7 @@ class IncrementalTrainer:
             return {"action": "partial", "placement": placement, "n_new": len(y_new)}
 
         X_fit, y_fit = refit_set()
+        old_rank = model_rank(self.model)
         try:
             fault_point("stream.refit")
             model = self.model_factory().fit(X_fit, y_fit)
@@ -231,19 +244,34 @@ class IncrementalTrainer:
             # replaces it (the factory builds the new model off to the
             # side, so a mid-fit crash tears nothing).
             return self._note_failure("refit", exc, len(y_new))
+        # An adaptive refit may land on a different rank than the
+        # incumbent's; everything keyed to the old rank — the incumbent's
+        # cached ObservationPlan buffers and warm-start factors — lives
+        # on the *old* model object, which is dropped wholesale here (the
+        # factory built the replacement from scratch).  The drift monitor
+        # is reset below regardless: its window scored the old model.
+        new_rank = model_rank(model)
+        rank_changed = (
+            old_rank is not None and new_rank is not None and new_rank != old_rank
+        )
         self.model = model
         self._note_success()
         self.n_refit += 1
         self.refit_reasons[reason] = self.refit_reasons.get(reason, 0) + 1
         if self.monitor is not None:
             self.monitor.reset()
-        return {
+        record = {
             "action": "refit",
             "reason": reason,
             "placement": placement,
             "n_new": len(y_new),
             "n_train": len(np.asarray(y_fit)),
+            "rank": new_rank,
         }
+        if rank_changed:
+            self.n_rank_changes += 1
+            record["rank_change"] = {"from": old_rank, "to": new_rank}
+        return record
 
     def to_record(self) -> dict:
         """JSON-serializable counters."""
@@ -254,8 +282,11 @@ class IncrementalTrainer:
             "failed": self.n_failed,
             "degraded": self.degraded,
             "refit_reasons": dict(self.refit_reasons),
-            # Backend attribution of the live model's last (re)fit.
+            # Attribution of the live model's last (re)fit: which compiled
+            # kernel ran it, and at what (possibly adapted) CP rank.
             "kernel_backend": getattr(self.model, "fit_backend_", None),
+            "rank": model_rank(self.model),
+            "rank_changes": self.n_rank_changes,
         }
 
     def __repr__(self):

@@ -139,6 +139,108 @@ class TestSelectionPolicy:
         assert m.fit_backend_ == "reference"
 
 
+class TestCalibrationSidecar:
+    """select_best persists its winner to a JSON sidecar keyed by
+    (host, candidate set), so forked workers calibrate once per host.
+
+    Every test here registers the clone backend, guaranteeing at least
+    two selectable candidates even on hosts without numba (with a single
+    candidate no calibration — and no sidecar traffic — happens at all).
+    The autouse conftest fixture points ``REPRO_KERNEL_CALIBRATION`` at a
+    per-test temp file.
+    """
+
+    @pytest.fixture
+    def timed(self, monkeypatch):
+        """Count calibration timings (the expensive part select_best skips)."""
+        calls = {"n": 0}
+        real = backends_mod._calibration_time
+
+        def counting(backend):
+            calls["n"] += 1
+            return real(backend)
+
+        monkeypatch.setattr(backends_mod, "_calibration_time", counting)
+        monkeypatch.setattr(backends_mod, "_SELECTED", None)
+        return calls
+
+    def test_force_writes_sidecar_then_reload_skips_calibration(
+        self, clone_backend, timed, tmp_path
+    ):
+        import json
+        import os
+
+        path = os.environ["REPRO_KERNEL_CALIBRATION"]
+        first = select_best(force=True)
+        assert timed["n"] >= 2  # every candidate was actually timed
+        data = json.loads(open(path).read())
+        (key,) = data
+        assert "clone_test" in key  # keyed by the candidate set
+        assert data[key]["backend"] == first.name
+        # A fresh process (cache cleared) reads the verdict, never re-times.
+        backends_mod._SELECTED = None
+        timed["n"] = 0
+        assert select_best() is first
+        assert timed["n"] == 0
+
+    def test_corrupt_sidecar_reads_as_miss(self, clone_backend, timed):
+        import os
+        from pathlib import Path
+
+        path = Path(os.environ["REPRO_KERNEL_CALIBRATION"])
+        path.write_text("{not json")
+        best = select_best()
+        assert timed["n"] >= 2  # recalibrated
+        assert best.selectable
+        # ...and the rewrite healed the file.
+        import json
+
+        assert json.loads(path.read_text())
+
+    def test_stored_winner_outside_candidate_set_recalibrates(
+        self, clone_backend, timed
+    ):
+        import json
+        import os
+        from pathlib import Path
+
+        candidates = [
+            b for b in backends_mod.available_backends() if b.selectable
+        ]
+        key = backends_mod._calibration_key(candidates)
+        Path(os.environ["REPRO_KERNEL_CALIBRATION"]).write_text(
+            json.dumps({key: {"backend": "uninstalled_backend"}})
+        )
+        select_best()
+        assert timed["n"] >= 2  # stale verdict ignored, not trusted
+
+    def test_empty_env_var_disables_persistence(
+        self, clone_backend, timed, monkeypatch
+    ):
+        monkeypatch.setenv(backends_mod.CALIBRATION_ENV_VAR, "")
+        assert backends_mod._calibration_path() is None
+        best = select_best(force=True)
+        assert best.selectable  # selection works, nothing persisted
+        backends_mod._SELECTED = None
+        timed["n"] = 0
+        select_best()
+        assert timed["n"] >= 2  # no sidecar to answer from
+
+    def test_single_candidate_skips_calibration_and_sidecar(
+        self, timed, monkeypatch
+    ):
+        import os
+        from pathlib import Path
+
+        only = backends_mod.get_backend("numpy_batched")
+        monkeypatch.setattr(
+            backends_mod, "available_backends", lambda: [only]
+        )
+        assert select_best(force=True) is only
+        assert timed["n"] == 0
+        assert not Path(os.environ["REPRO_KERNEL_CALIBRATION"]).exists()
+
+
 class _SpyOptimizer:
     """Wraps an OPTIMIZERS entry, recording the kwargs the model passed."""
 

@@ -250,7 +250,15 @@ class TestAMN:
 
 class TestRegistry:
     def test_all_optimizers_registered(self):
-        assert set(OPTIMIZERS) == {"als", "ccd", "sgd", "amn", "lm"}
+        assert set(OPTIMIZERS) == {
+            "als",
+            "als_adaptive",
+            "als_reg",
+            "ccd",
+            "sgd",
+            "amn",
+            "lm",
+        }
 
 
 @settings(max_examples=25, deadline=None)

@@ -16,6 +16,8 @@ import pytest
 from repro.core.completion import (
     ObservationPlan,
     complete_als,
+    complete_als_adaptive,
+    complete_als_regularized,
     complete_amn,
     get_backend,
     init_factors,
@@ -311,6 +313,81 @@ class TestPartialFitEquivalence:
         np.testing.assert_allclose(
             bat.predict(edge), ref.predict(edge), rtol=1e-8
         )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("order", [2, 3, 4])
+class TestRegularizedEquivalence:
+    """Column-penalty / nonnegative ALS must agree across backends.
+
+    The vector-``lam`` diagonal and the projection step are threaded
+    through ``als_update`` exactly like the scalar path, so every
+    registered backend owes the same 1e-8 contract the plain ALS suite
+    enforces — including backends that internally delegate vector
+    penalties (``numba_jit`` falls back to the numpy path).
+    """
+
+    @pytest.mark.parametrize("penalties", ["graded", None])
+    @pytest.mark.parametrize("nonnegative", [False, True])
+    def test_full_fit_matches(self, order, backend, penalties, nonnegative):
+        shape = ORDERS[order]
+        idx, vals = _ragged_observations(shape, seed=50 + order)
+        kw = dict(rank=3, regularization=1e-4, max_sweeps=6, tol=0.0,
+                  seed=7, column_penalties=penalties, nonnegative=nonnegative)
+        ref = complete_als_regularized(shape, idx, vals, kernel="reference",
+                                       **kw)
+        bat = complete_als_regularized(shape, idx, vals, kernel=backend, **kw)
+        _assert_factors_close(ref.factors, bat.factors)
+        np.testing.assert_allclose(ref.history, bat.history, rtol=1e-9)
+        assert ref.n_sweeps == bat.n_sweeps
+        if nonnegative:
+            assert all(np.all(U >= 0) for U in bat.factors)
+
+    def test_explicit_penalty_vector_matches(self, order, backend):
+        shape = ORDERS[order]
+        idx, vals = _ragged_observations(shape, seed=60 + order)
+        w = np.array([1.0, 5.0, 25.0])
+        kw = dict(rank=3, regularization=1e-4, max_sweeps=4, tol=0.0, seed=3,
+                  column_penalties=w)
+        ref = complete_als_regularized(shape, idx, vals, kernel="reference",
+                                       **kw)
+        bat = complete_als_regularized(shape, idx, vals, kernel=backend, **kw)
+        _assert_factors_close(ref.factors, bat.factors)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("order", [2, 3, 4])
+class TestAdaptiveEquivalence:
+    """The grow/prune loop must be a pure function of (problem, seed,
+    backend-exact numerics): same trajectory, same factors everywhere."""
+
+    def test_adaptive_matches_reference(self, order, backend):
+        shape = ORDERS[order]
+        idx, vals = _ragged_observations(shape, seed=70 + order)
+        kw = dict(rank="auto", rank_init=2, max_rank=6, grow_step=2,
+                  regularization=1e-5, max_sweeps=6, tol=0.0, seed=11)
+        ref = complete_als_adaptive(shape, idx, vals, kernel="reference", **kw)
+        bat = complete_als_adaptive(shape, idx, vals, kernel=backend, **kw)
+        assert ref.rank_trajectory == bat.rank_trajectory
+        _assert_factors_close(ref.factors, bat.factors)
+        np.testing.assert_allclose(
+            ref.validation_history, bat.validation_history, rtol=1e-8
+        )
+
+    def test_degenerate_adaptive_is_fixed_rank_als(self, order, backend):
+        """No search, no pruning: bit-identical to ``complete_als``."""
+        shape = ORDERS[order]
+        idx, vals = _ragged_observations(shape, seed=80 + order)
+        fixed = complete_als(shape, idx, vals, rank=3, regularization=1e-5,
+                             max_sweeps=5, tol=0.0, seed=2, kernel=backend)
+        auto = complete_als_adaptive(
+            shape, idx, vals, rank=3, rank_init=3, prune_threshold=0.0,
+            val_fraction=0.0, regularization=1e-5, max_sweeps=5, tol=0.0,
+            seed=2, kernel=backend,
+        )
+        for U, V in zip(fixed.factors, auto.factors):
+            np.testing.assert_array_equal(U, V)
+        assert auto.rank_trajectory == [3]
 
 
 class TestPlanInvariants:

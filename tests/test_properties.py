@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 from repro.core import CPRModel
 from repro.core.completion import (
     complete_als,
+    complete_als_adaptive,
+    complete_als_regularized,
     complete_amn,
     registered_backends,
 )
@@ -200,6 +202,94 @@ class TestCompletionInvariants:
         m.partial_fit(X, y)
         np.testing.assert_allclose(m.tensor_.values, values, rtol=1e-12)
         np.testing.assert_array_equal(m.tensor_.counts, 2 * counts)
+
+
+class TestRegularizedInvariants:
+    """Seeded metamorphic invariants of the new regularized/adaptive
+    kernels, per backend (same automatic-parametrization discipline as
+    :class:`TestCompletionInvariants`)."""
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_regularized_permutation_invariance(self, kernel, seed):
+        """Column penalties don't break observation-order invariance."""
+        shape, idx, vals = _observations(seed)
+        perm = np.random.default_rng(seed + 1).permutation(len(vals))
+        kw = dict(rank=2, regularization=1e-4, max_sweeps=4, tol=0.0,
+                  seed=0, kernel=kernel, column_penalties="graded")
+        a = complete_als_regularized(shape, idx, vals, **kw)
+        b = complete_als_regularized(shape, idx[perm], vals[perm], **kw)
+        for U, V in zip(a.factors, b.factors):
+            np.testing.assert_allclose(V, U, rtol=0,
+                                       atol=1e-7 * np.abs(U).max())
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_nonnegative_projection_holds(self, kernel, seed):
+        """Projected ALS factors stay in the nonnegative orthant."""
+        shape, idx, vals = _observations(seed, positive=True)
+        res = complete_als_regularized(
+            shape, idx, vals, rank=2, regularization=1e-4, max_sweeps=5,
+            tol=0.0, seed=0, kernel=kernel, nonnegative=True,
+        )
+        assert all(np.all(U >= 0) for U in res.factors)
+        assert np.isfinite(res.history[-1])
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_graded_penalty_shrinks_trailing_components(self, kernel, seed):
+        """Heavier penalties shrink what they penalize: under a strongly
+        graded ramp the trailing component's magnitude cannot exceed the
+        flat-penalty fit's trailing component (norm-product metric)."""
+        from repro.core.completion import cp_component_norms
+
+        shape, idx, vals = _observations(seed)
+        kw = dict(rank=3, regularization=1e-2, max_sweeps=8, tol=0.0,
+                  seed=0, kernel=kernel)
+        flat = complete_als_regularized(
+            shape, idx, vals, column_penalties=np.ones(3), **kw
+        )
+        ramp = complete_als_regularized(
+            shape, idx, vals, column_penalties=np.array([1.0, 1.0, 400.0]),
+            **kw
+        )
+        flat_tail = cp_component_norms(flat.factors)[-1]
+        ramp_tail = cp_component_norms(ramp.factors)[-1]
+        assert ramp_tail <= flat_tail * (1 + 1e-9)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_adaptive_rank_within_bounds(self, kernel, seed):
+        """The landed rank respects [1, cap] and matches the factors."""
+        shape, idx, vals = _observations(seed)
+        res = complete_als_adaptive(
+            shape, idx, vals, rank="auto", rank_init=2, max_rank=5,
+            regularization=1e-5, max_sweeps=5, tol=0.0, seed=0, kernel=kernel,
+        )
+        landed = res.factors[0].shape[1]
+        assert 1 <= landed <= 5
+        assert res.rank_trajectory[-1] == landed
+        assert all(U.shape[1] == landed for U in res.factors)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_adaptive_degenerate_equals_fixed_als(self, kernel, seed):
+        """rank_init == cap, no holdout, no pruning == plain ALS exactly."""
+        shape, idx, vals = _observations(seed)
+        kw = dict(regularization=1e-5, max_sweeps=4, tol=0.0, seed=0,
+                  kernel=kernel)
+        fixed = complete_als(shape, idx, vals, rank=2, **kw)
+        auto = complete_als_adaptive(
+            shape, idx, vals, rank=2, rank_init=2, val_fraction=0.0,
+            prune_threshold=0.0, **kw,
+        )
+        for U, V in zip(fixed.factors, auto.factors):
+            np.testing.assert_array_equal(U, V)
 
 
 class TestTensorInvariants:

@@ -84,9 +84,11 @@ def test_registry_publish_load_roundtrip(tmp_path, bcast_data, fitted):
     reg = ModelRegistry(tmp_path)
     mv = reg.publish("bcast", fitted, meta={"app": "bcast"})
     assert mv.version == 1 and mv.ref == "bcast@v1"
-    # publish stamps the fitting kernel backend alongside caller meta
+    # publish stamps the fitting kernel backend and served rank
+    # alongside caller meta
     assert mv.meta == {"app": "bcast",
-                       "kernel_backend": fitted.fit_backend_}
+                       "kernel_backend": fitted.fit_backend_,
+                       "rank": 2}
     loaded = reg.load("bcast")
     np.testing.assert_allclose(loaded.predict(test.X), fitted.predict(test.X))
     assert "bcast" in reg and "nope" not in reg

@@ -220,6 +220,71 @@ class TestIncrementalTrainer:
         assert mon.count == 0  # reset after refit
         assert tr.refit_reasons == {"drift": 1}
 
+    def test_refit_through_rank_change_keeps_updating(self, bcast):
+        """Drifting through a rank-changing refit must not shape-error.
+
+        A refit that lands on a different CP rank invalidates everything
+        keyed to the old rank — cached ObservationPlan Khatri-Rao buffers
+        and warm-start factors.  The trainer drops the old model
+        wholesale, so the post-change ``partial_fit`` warm-starts at the
+        *new* rank against a fresh plan; this is the regression test that
+        the bookkeeping (counter, record, monitor reset) rides along.
+        """
+        app, train = bcast
+        ranks = iter([2, 4])
+        base = _factory(app)
+
+        def flipping_factory():
+            m = base()
+            m.rank = next(ranks)
+            return m
+
+        mon = DriftMonitor(window=8, threshold=0.1, min_count=2)
+        tr = IncrementalTrainer(flipping_factory, monitor=mon)
+        tr.update(train.X[:128], train.y[:128], train.X[:128], train.y[:128])
+        assert tr.model.adapted_rank_ == 2
+        mon.record(np.full(4, np.e**2), np.ones(4))  # sustained drift
+        record = tr.update(
+            train.X[128:160], train.y[128:160], train.X[:160], train.y[:160]
+        )
+        assert record["action"] == "refit"
+        assert record["rank"] == 4
+        assert record["rank_change"] == {"from": 2, "to": 4}
+        assert tr.n_rank_changes == 1
+        assert mon.count == 0  # stale window dropped with the old model
+        # The next partial flows through the rank-4 model without shape
+        # errors (old rank-2 plan/factors are gone with the old model).
+        rec = tr.update(
+            train.X[160:192], train.y[160:192], train.X[:192], train.y[:192]
+        )
+        assert rec["action"] == "partial"
+        assert tr.model.adapted_rank_ == 4
+        assert tr.to_record()["rank"] == 4
+        assert tr.to_record()["rank_changes"] == 1
+
+    def test_session_monitor_reset_when_trainer_has_none(self, bcast):
+        """A refit resets the *session's* drift window too, even when the
+        injected trainer scores through no (or another) monitor."""
+        app, train = bcast
+        monitor = DriftMonitor(window=32, threshold=1e9, min_count=1)
+        session = StreamSession(
+            None, "m", _factory(app),
+            monitor=monitor, trainer=IncrementalTrainer(_factory(app)),
+        )
+        half = train.X[:, 2] < np.median(train.X[:, 2])
+        X_in, y_in = train.X[half], train.y[half]
+        session.observe(X_in, y_in)  # initial fit: grid covers all of half
+        # Re-measurements of seen configurations: partial update, and the
+        # session monitor accumulates prequential evidence.
+        record = session.observe(X_in[:32], y_in[:32])
+        assert record["action"] == "partial"
+        assert monitor.count > 0
+        # Out-of-domain rows force a refit through the trainer (which has
+        # no monitor of its own): the session monitor must still reset.
+        record = session.observe(train.X[~half][:32], train.y[~half][:32])
+        assert record["action"] == "refit"
+        assert monitor.count == 0
+
     def test_empty_flush_is_noop(self, bcast):
         app, train = bcast
         tr = IncrementalTrainer(_factory(app))
